@@ -1,0 +1,305 @@
+package sourcesync
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/modem"
+	"repro/internal/phy"
+	"repro/internal/sls"
+)
+
+// ------------------------------------------------------- §4.4 overhead
+
+// OverheadRow is one line of the synchronization-overhead table.
+type OverheadRow struct {
+	Senders          int
+	OverheadFraction float64
+	FrameAirtimeUs   float64
+}
+
+// RunOverheadTable computes the §4.4 overhead numbers: SIFS + 2 CE symbols
+// per co-sender, for 1460-byte packets at 12 Mbps.
+func RunOverheadTable() []OverheadRow {
+	cfg := Profile80211()
+	rate, _ := modem.RateByMbps(12)
+	var out []OverheadRow
+	for senders := 2; senders <= 5; senders++ {
+		p := phy.JointFrameParams{
+			Cfg: cfg, Rate: rate, DataCP: cfg.CPLen,
+			PayloadLen: 1460, Seed: 1, NumCo: senders - 1,
+		}
+		out = append(out, OverheadRow{
+			Senders:          senders,
+			OverheadFraction: p.OverheadFraction(),
+			FrameAirtimeUs:   p.AirtimeSeconds() * 1e6,
+		})
+	}
+	return out
+}
+
+// ----------------------------------------- detection-delay premise (§4.2a)
+
+// DetDelayPoint summarizes the packet-detection delay distribution at one
+// SNR: the paper's premise that detection instants vary by hundreds of ns
+// and depend on SNR.
+type DetDelayPoint struct {
+	SNRdB    float64
+	MeanNs   float64
+	StdNs    float64
+	P95Ns    float64
+	Detected int
+	Missed   int
+}
+
+// RunDetDelay measures the coarse packet-detection delay (detector firing
+// instant minus true first sample) across SNRs on the WiGLAN profile.
+func RunDetDelay(seed int64, snrs []float64, trials int) []DetDelayPoint {
+	cfg := ProfileWiGLAN()
+	rng := rand.New(rand.NewSource(seed))
+	p := modem.FrameParams{
+		Cfg: cfg, Rate: modem.Rate{Mod: modem.BPSK, Code: modem.Rate12},
+		CP: cfg.CPLen, PayloadLen: 20, ScramblerSeed: 0x5d,
+	}
+	payload := make([]byte, p.PayloadLen)
+	rng.Read(payload)
+	nsPerSample := 1e9 / cfg.SampleRateHz
+
+	var out []DetDelayPoint
+	for _, snr := range snrs {
+		var delays []float64
+		missed := 0
+		for t := 0; t < trials; t++ {
+			wave := modem.BuildFrame(p, payload)
+			m := channel.NewIndoor(rng, cfg.SampleRateHz, 30, 6)
+			faded := m.Apply(wave)
+			sig := dsp.MeanPower(faded)
+			noise := channel.NoisePowerForSNR(sig, snr)
+			const lead = 700
+			buf := make([]complex128, lead+len(faded)+400)
+			copy(buf[lead:], faded)
+			channel.AddAWGN(rng, buf, noise)
+			det := modem.DetectPacket(cfg, buf, 0, modem.DetectorOptions{})
+			if !det.Detected || det.CoarseIdx < lead-2*cfg.NFFT {
+				missed++
+				continue
+			}
+			delays = append(delays, float64(det.CoarseIdx-lead)*nsPerSample)
+		}
+		pt := DetDelayPoint{SNRdB: snr, Detected: len(delays), Missed: missed}
+		if len(delays) > 0 {
+			pt.MeanNs = dsp.Mean(delays)
+			pt.StdNs = dsp.StdDev(delays)
+			pt.P95Ns = dsp.Percentile(delays, 95)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// ------------------------------------------------ ablation: slope window
+
+// SlopeWindowResult compares the 3 MHz-windowed phase-slope delay estimator
+// against a whole-band fit under frequency-selective fading.
+type SlopeWindowResult struct {
+	WindowedRMS  float64 // RMS delay-difference error, samples
+	WholeBandRMS float64
+	Draws        int
+}
+
+// RunAblationSlopeWindow measures why the paper fits slopes over windows
+// narrower than the coherence bandwidth (§4.2a): over heavier multipath the
+// windowed estimator's error on delay differences stays lower than the
+// whole-band fit, which suffers unwrap errors across deep fades.
+func RunAblationSlopeWindow(seed int64, draws int) SlopeWindowResult {
+	cfg := ProfileWiGLAN()
+	rng := rand.New(rand.NewSource(seed))
+	var wErr, bErr float64
+	for i := 0; i < draws; i++ {
+		m := channel.NewIndoor(rng, cfg.SampleRateHz, 60, 0) // heavy NLOS multipath
+		d1 := rng.Float64() * 3
+		d2 := d1 + 1.5
+		h1 := delayedChannel(cfg, m, d1)
+		h2 := delayedChannel(cfg, m, d2)
+		w := (sls.EstimateDelay(cfg, h2) - sls.EstimateDelay(cfg, h1)) - (d2 - d1)
+		b := (sls.EstimateDelayWindowed(cfg, h2, 1e12) - sls.EstimateDelayWindowed(cfg, h1, 1e12)) - (d2 - d1)
+		wErr += w * w
+		bErr += b * b
+	}
+	return SlopeWindowResult{
+		WindowedRMS:  math.Sqrt(wErr / float64(draws)),
+		WholeBandRMS: math.Sqrt(bErr / float64(draws)),
+		Draws:        draws,
+	}
+}
+
+func delayedChannel(cfg *Config, m *channel.Multipath, d float64) []complex128 {
+	h := m.FreqResponse(cfg.NFFT)
+	dsp.PhaseRampDelay(h, d)
+	used := map[int]bool{}
+	for _, k := range cfg.UsedBins() {
+		used[cfg.Bin(k)] = true
+	}
+	for b := range h {
+		if !used[b] {
+			h[b] = 0
+		}
+	}
+	return h
+}
+
+// --------------------------------------------- ablation: naive combining
+
+// NaiveCombiningResult compares worst-case effective SNR of STBC versus
+// naive identical transmission across random relative phases (§6).
+type NaiveCombiningResult struct {
+	STBCWorstSNRdB  float64
+	NaiveWorstSNRdB float64
+	NaiveFailures   int // frames that produced no usable EVM at all
+	Frames          int
+}
+
+// RunAblationNaiveCombining quantifies the Smart Combiner's value: with
+// naive identical transmission some relative phases cancel destructively;
+// with the Alamouti code the worst case stays near the best case.
+func RunAblationNaiveCombining(seed int64, frames int) NaiveCombiningResult {
+	cfg := ProfileWiGLAN()
+	res := NaiveCombiningResult{Frames: frames}
+	res.STBCWorstSNRdB = math.Inf(1)
+	res.NaiveWorstSNRdB = math.Inf(1)
+	for mode := 0; mode < 2; mode++ {
+		for f := 0; f < frames; f++ {
+			rng := rand.New(rand.NewSource(seed + int64(f)))
+			sim := fig13Sim(rng, cfg, cfg.CPLen, 25, false)
+			if mode == 1 {
+				sim.P.Combining = phy.CombineNaive
+			}
+			// Sweep the co-sender's oscillator phase across the circle.
+			sim.Co[0].Phase = 2 * math.Pi * float64(f) / float64(frames)
+			payload := make([]byte, sim.P.PayloadLen)
+			rng.Read(payload)
+			run, err := sim.Run(payload)
+			if err != nil || !run.CoJoined[0] {
+				continue
+			}
+			rx := &phy.JointReceiver{Cfg: cfg, FFTBackoff: 3}
+			out, err := rx.Receive(run.RxWave, 0)
+			if err != nil || out.EVM <= 0 {
+				if mode == 1 {
+					res.NaiveFailures++
+				}
+				continue
+			}
+			snr := dsp.DB(1 / out.EVM)
+			if mode == 0 && snr < res.STBCWorstSNRdB {
+				res.STBCWorstSNRdB = snr
+			}
+			if mode == 1 && snr < res.NaiveWorstSNRdB {
+				res.NaiveWorstSNRdB = snr
+			}
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------- ablation: pilot sharing
+
+// PilotSharingResult compares per-sender pilot tracking against a single
+// shared phase track under distinct residual CFOs (§5).
+type PilotSharingResult struct {
+	SharedPilotsEVM float64 // SourceSync design
+	NaiveTrackEVM   float64 // single common phase track
+	Frames          int
+}
+
+// RunAblationPilotSharing measures decoding quality with and without the
+// paper's shared-pilot per-sender phase tracking when the two senders carry
+// different residual frequency offsets.
+func RunAblationPilotSharing(seed int64, frames int) PilotSharingResult {
+	cfg := ProfileWiGLAN()
+	res := PilotSharingResult{Frames: frames}
+	var sAcc, nAcc float64
+	var sN, nN int
+	for f := 0; f < frames; f++ {
+		rng := rand.New(rand.NewSource(seed + int64(f)))
+		sim := fig13Sim(rng, cfg, cfg.CPLen, 25, false)
+		// Exaggerate the residual offsets so the divergence is visible in a
+		// short frame; use a longer payload for drift to accumulate.
+		sim.P.PayloadLen = 400
+		sim.Lead.ResidCFO = channel.PPMToCFO(0.8, 5.8e9, cfg.SampleRateHz)
+		sim.Co[0].ResidCFO = channel.PPMToCFO(-0.8, 5.8e9, cfg.SampleRateHz)
+		payload := make([]byte, sim.P.PayloadLen)
+		rng.Read(payload)
+		run, err := sim.Run(payload)
+		if err != nil || !run.CoJoined[0] {
+			continue
+		}
+		shared := &phy.JointReceiver{Cfg: cfg, FFTBackoff: 3}
+		if out, err := shared.Receive(run.RxWave, 0); err == nil && out.EVM > 0 {
+			sAcc += out.EVM
+			sN++
+		}
+		naive := &phy.JointReceiver{Cfg: cfg, FFTBackoff: 3, NaivePhaseTracking: true}
+		if out, err := naive.Receive(run.RxWave, 0); err == nil && out.EVM > 0 {
+			nAcc += out.EVM
+			nN++
+		}
+	}
+	if sN > 0 {
+		res.SharedPilotsEVM = sAcc / float64(sN)
+	}
+	if nN > 0 {
+		res.NaiveTrackEVM = nAcc / float64(nN)
+	}
+	return res
+}
+
+// ------------------------------------------------ ablation: multi-rx LP
+
+// MultiRxLPResult compares the LP-optimized wait times against aligning to
+// the first receiver only, over random multi-receiver delay configurations.
+type MultiRxLPResult struct {
+	LPMaxMisalign    float64 // mean over configs of worst-case misalignment, samples
+	FirstRxMisalign  float64 // same when w aligns receiver 0 exactly
+	Configurations   int
+	ReceiversPerConf int
+}
+
+// RunAblationMultiRxLP quantifies §4.6: with several receivers, choosing
+// wait times via the min-max LP lowers the worst-case misalignment (and
+// hence the CP increase) relative to aligning at a single receiver.
+func RunAblationMultiRxLP(seed int64, configs, receivers int) MultiRxLPResult {
+	rng := rand.New(rand.NewSource(seed))
+	res := MultiRxLPResult{Configurations: configs, ReceiversPerConf: receivers}
+	for c := 0; c < configs; c++ {
+		tLead := make([]float64, receivers)
+		tCo := [][]float64{make([]float64, receivers), make([]float64, receivers)}
+		for k := 0; k < receivers; k++ {
+			tLead[k] = rng.Float64() * 8
+			tCo[0][k] = rng.Float64() * 8
+			tCo[1][k] = rng.Float64() * 8
+		}
+		_, lpMax, err := sls.MultiReceiverWaits(tLead, tCo)
+		if err != nil {
+			continue
+		}
+		// First-receiver alignment: w_i = T_0 - t_i0.
+		w0 := []float64{tLead[0] - tCo[0][0], tLead[0] - tCo[1][0]}
+		worst := 0.0
+		for k := 0; k < receivers; k++ {
+			for i := 0; i < 2; i++ {
+				if v := math.Abs(w0[i] + tCo[i][k] - tLead[k]); v > worst {
+					worst = v
+				}
+			}
+			if v := math.Abs((w0[0] + tCo[0][k]) - (w0[1] + tCo[1][k])); v > worst {
+				worst = v
+			}
+		}
+		res.LPMaxMisalign += lpMax / float64(configs)
+		res.FirstRxMisalign += worst / float64(configs)
+	}
+	return res
+}

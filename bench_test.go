@@ -1,0 +1,294 @@
+package sourcesync
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§8). Each benchmark runs a shrunken-but-representative version
+// of the experiment per iteration and reports the headline metric through
+// b.ReportMetric, so `go test -bench=. -benchmem` yields a machine-readable
+// summary of the reproduction. cmd/ssbench runs the full-size versions and
+// prints the complete series.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/modem"
+	"repro/internal/permodel"
+	"repro/internal/phy"
+)
+
+// --------------------------------------------------------------- figures
+
+func BenchmarkFig12SyncError(b *testing.B) {
+	o := Fig12Options{Seed: 1, SNRsdB: []float64{6, 12, 25}, Trials: 6, Reps: 30}
+	var last []Fig12Point
+	for i := 0; i < b.N; i++ {
+		o.Seed = int64(1 + i)
+		last = RunFig12(o)
+	}
+	var worstP95 float64
+	for _, p := range last {
+		if p.P95Ns > worstP95 {
+			worstP95 = p.P95Ns
+		}
+	}
+	b.ReportMetric(worstP95, "p95-sync-error-ns")
+}
+
+func BenchmarkFig13CPSweep(b *testing.B) {
+	o := Fig13Options{Seed: 2, CPsNs: []float64{117, 469}, FramesPerCP: 3, SNRdB: 25}
+	var pts []Fig13Point
+	for i := 0; i < b.N; i++ {
+		o.Seed = int64(2 + i)
+		pts = RunFig13(o)
+	}
+	// SourceSync at 117 ns vs baseline at 117 ns: the gap is the paper's
+	// headline (baseline needs ~469 ns to catch up).
+	b.ReportMetric(pts[0].SourceSyncSNR, "ss-snr-at-117ns-dB")
+	b.ReportMetric(pts[0].BaselineSNR, "baseline-snr-at-117ns-dB")
+	b.ReportMetric(pts[1].BaselineSNR, "baseline-snr-at-469ns-dB")
+}
+
+func BenchmarkFig14DelaySpread(b *testing.B) {
+	var pts []Fig14Point
+	for i := 0; i < b.N; i++ {
+		pts = RunFig14(Fig14Options{Seed: int64(3 + i), Draws: 150, Taps: 70})
+	}
+	b.ReportMetric(float64(SignificantTaps(pts, 0.01)), "significant-taps")
+}
+
+func BenchmarkFig15PowerGain(b *testing.B) {
+	var rows []Fig15Row
+	for i := 0; i < b.N; i++ {
+		rows = RunFig15(Fig15Options{Seed: int64(4 + i), Placements: 12, Frames: 1})
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.GainDB, "gain-dB-"+r.Regime)
+	}
+}
+
+func BenchmarkFig16SubcarrierSNR(b *testing.B) {
+	var series []Fig16Series
+	for i := 0; i < b.N; i++ {
+		series = RunFig16(Fig15Options{Seed: int64(5 + i), Placements: 12, Frames: 1})
+	}
+	for _, s := range series {
+		flattening := (s.Flatness.Sender1+s.Flatness.Sender2)/2 - s.Flatness.Joint
+		b.ReportMetric(flattening, "flattening-dB-"+s.Regime)
+	}
+}
+
+func BenchmarkFig17LastHop(b *testing.B) {
+	var res Fig17Result
+	for i := 0; i < b.N; i++ {
+		res = RunFig17(Fig17Options{Seed: int64(6 + i), Placements: 16, Packets: 250, Payload: 1460})
+	}
+	b.ReportMetric(res.MedianGain, "median-gain-x")
+}
+
+func BenchmarkFig18OppRouting6(b *testing.B) {
+	benchFig18(b, 6)
+}
+
+func BenchmarkFig18OppRouting12(b *testing.B) {
+	benchFig18(b, 12)
+}
+
+func benchFig18(b *testing.B, mbps int) {
+	b.Helper()
+	var res Fig18Result
+	for i := 0; i < b.N; i++ {
+		res = RunFig18(Fig18Options{
+			Seed: int64(7 + i), Topologies: 10, Packets: 100,
+			Payload: 1000, RateMbps: mbps, Probes: 40,
+		})
+	}
+	b.ReportMetric(res.GainExOROverSP, "exor-over-sp-x")
+	b.ReportMetric(res.GainSSOverExOR, "ss-over-exor-x")
+	b.ReportMetric(res.GainSSOverSP, "ss-over-sp-x")
+}
+
+func BenchmarkTabOverhead(b *testing.B) {
+	var rows []OverheadRow
+	for i := 0; i < b.N; i++ {
+		rows = RunOverheadTable()
+	}
+	b.ReportMetric(rows[0].OverheadFraction*100, "overhead-2senders-pct")
+	b.ReportMetric(rows[3].OverheadFraction*100, "overhead-5senders-pct")
+}
+
+func BenchmarkDetDelayPremise(b *testing.B) {
+	var pts []DetDelayPoint
+	for i := 0; i < b.N; i++ {
+		pts = RunDetDelay(int64(8+i), []float64{4, 25}, 20)
+	}
+	b.ReportMetric(pts[0].StdNs, "det-delay-std-ns-4dB")
+	b.ReportMetric(pts[1].StdNs, "det-delay-std-ns-25dB")
+}
+
+// -------------------------------------------------------------- ablations
+
+func BenchmarkAblationSlopeWindow(b *testing.B) {
+	var res SlopeWindowResult
+	for i := 0; i < b.N; i++ {
+		res = RunAblationSlopeWindow(int64(9+i), 100)
+	}
+	b.ReportMetric(res.WindowedRMS, "windowed-rms-samples")
+	b.ReportMetric(res.WholeBandRMS, "wholeband-rms-samples")
+}
+
+func BenchmarkAblationNaiveCombining(b *testing.B) {
+	var res NaiveCombiningResult
+	for i := 0; i < b.N; i++ {
+		res = RunAblationNaiveCombining(int64(10+i), 8)
+	}
+	b.ReportMetric(res.STBCWorstSNRdB, "stbc-worst-dB")
+	b.ReportMetric(res.NaiveWorstSNRdB, "naive-worst-dB")
+	b.ReportMetric(float64(res.NaiveFailures), "naive-failures")
+}
+
+func BenchmarkAblationPilotSharing(b *testing.B) {
+	var res PilotSharingResult
+	for i := 0; i < b.N; i++ {
+		res = RunAblationPilotSharing(int64(11+i), 3)
+	}
+	b.ReportMetric(res.SharedPilotsEVM, "shared-evm")
+	b.ReportMetric(res.NaiveTrackEVM, "naive-evm")
+}
+
+func BenchmarkAblationSoftDecision(b *testing.B) {
+	// Coding gain of soft-decision demapping near the 12 Mbps waterfall
+	// (an extension beyond the paper's hard-decision FPGA pipeline).
+	cfg := modem.Profile80211()
+	rate, _ := modem.RateByMbps(12)
+	var hard, soft float64
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(20 + i)))
+		hard = permodel.EmpiricalPEROpts(cfg, rate, 300, 7, 30, rng, false)
+		rng = rand.New(rand.NewSource(int64(20 + i)))
+		soft = permodel.EmpiricalPEROpts(cfg, rate, 300, 7, 30, rng, true)
+	}
+	b.ReportMetric(hard, "hard-per")
+	b.ReportMetric(soft, "soft-per")
+}
+
+func BenchmarkAblationMultiRxLP(b *testing.B) {
+	var res MultiRxLPResult
+	for i := 0; i < b.N; i++ {
+		res = RunAblationMultiRxLP(int64(12+i), 50, 3)
+	}
+	b.ReportMetric(res.LPMaxMisalign, "lp-maxmis-samples")
+	b.ReportMetric(res.FirstRxMisalign, "firstrx-maxmis-samples")
+}
+
+// ---------------------------------------------------- hot-path benchmarks
+
+func BenchmarkFFT64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	dst := make([]complex128, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsp.FFTInto(dst, x)
+	}
+}
+
+func BenchmarkViterbiDecode1500B(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	bits := make([]byte, 1500*8)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	data := modem.AppendTail(bits)
+	coded := modem.ConvEncode(data, modem.Rate12)
+	soft := modem.HardToSoft(coded)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		modem.ViterbiDecode(soft, len(data), modem.Rate12)
+	}
+}
+
+var benchFrameOnce sync.Once
+var benchFrameWave []complex128
+var benchFrameParams modem.FrameParams
+
+func benchFrameSetup() {
+	cfg := modem.Profile80211()
+	rate, _ := modem.RateByMbps(54)
+	benchFrameParams = modem.FrameParams{
+		Cfg: cfg, Rate: rate, CP: cfg.CPLen, PayloadLen: 1460, ScramblerSeed: 0x5d,
+	}
+	payload := make([]byte, 1460)
+	rand.New(rand.NewSource(3)).Read(payload)
+	benchFrameWave = modem.BuildFrame(benchFrameParams, payload)
+}
+
+func BenchmarkModemEncode1460B54M(b *testing.B) {
+	benchFrameOnce.Do(benchFrameSetup)
+	payload := make([]byte, 1460)
+	rand.New(rand.NewSource(4)).Read(payload)
+	b.SetBytes(1460)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		modem.BuildFrame(benchFrameParams, payload)
+	}
+}
+
+func BenchmarkModemDecode1460B54M(b *testing.B) {
+	benchFrameOnce.Do(benchFrameSetup)
+	cfg := benchFrameParams.Cfg
+	buf := make([]complex128, 300+len(benchFrameWave)+300)
+	copy(buf[300:], benchFrameWave)
+	rng := rand.New(rand.NewSource(5))
+	for i := range buf {
+		buf[i] += complex(rng.NormFloat64()*1e-4, rng.NormFloat64()*1e-4)
+	}
+	rx := &modem.Receiver{Cfg: cfg, FFTBackoff: 3}
+	b.SetBytes(1460)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _, err := rx.Receive(benchFrameParams, buf, 0); err != nil || !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkJointFrameRoundTrip(b *testing.B) {
+	cfg := modem.Profile80211()
+	rate, _ := modem.RateByMbps(12)
+	p := phy.JointFrameParams{
+		Cfg: cfg, Rate: rate, DataCP: cfg.CPLen,
+		PayloadLen: 256, Seed: 0x5d, NumCo: 1, LeadID: 1, PacketID: 2,
+	}
+	rng := rand.New(rand.NewSource(6))
+	sim := &phy.JointSimConfig{
+		P:        p,
+		LeadToCo: []phy.Link{{Gain: 1, Delay: 3}},
+		LeadToRx: phy.Link{Gain: 1, Delay: 5},
+		CoToRx:   []phy.Link{{Gain: 1, Delay: 2}},
+		Co: []phy.CoSenderSim{{
+			Turnaround: 120, EstDelayFromLead: 3, TxOffset: 3,
+			NoisePower: 1e-5, FFTBackoff: 3,
+		}},
+		NoiseRx: 1e-5,
+		Rng:     rng,
+	}
+	payload := make([]byte, 256)
+	rng.Read(payload)
+	rx := &phy.JointReceiver{Cfg: cfg, FFTBackoff: 3}
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := sim.Run(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rx.Receive(run.RxWave, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

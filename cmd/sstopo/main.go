@@ -1,0 +1,95 @@
+// Command sstopo generates a random mesh topology in the testbed
+// environment and prints its link budget, measured delivery probabilities,
+// ETX metrics, the single-path route, and the ExOR forwarder ordering —
+// the inputs the opportunistic routing experiments run on.
+//
+// Usage:
+//
+//	sstopo [-seed N] [-nodes N] [-rate Mbps]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/exor"
+	"repro/internal/modem"
+	"repro/internal/testbed"
+)
+
+var (
+	seed  = flag.Int64("seed", 1, "random seed")
+	nodes = flag.Int("nodes", 5, "number of nodes (src + relays + dst)")
+	rateM = flag.Int("rate", 6, "bit rate in Mbps for loss measurement")
+)
+
+func main() {
+	flag.Parse()
+	if *nodes < 3 {
+		fmt.Fprintln(os.Stderr, "need at least 3 nodes")
+		os.Exit(2)
+	}
+	cfg := modem.Profile80211()
+	env := testbed.Mesh(cfg)
+	rng := rand.New(rand.NewSource(*seed))
+	rate, err := modem.RateByMbps(*rateM)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// Source on the left edge, destination on the right, relays between.
+	pts := []testbed.Point{{X: 1, Y: env.Height / 2}}
+	for i := 0; i < *nodes-2; i++ {
+		pts = append(pts, testbed.Point{
+			X: (0.25 + rng.Float64()*0.4) * env.Width,
+			Y: rng.Float64() * env.Height,
+		})
+	}
+	pts = append(pts, testbed.Point{X: env.Width - 1, Y: env.Height / 2})
+	topo := exor.NewTopology(rng, env, pts)
+
+	fmt.Printf("environment: %s, %.0fx%.0f m, tx %0.f dBm, noise floor %.1f dBm\n",
+		cfg.Name, env.Width, env.Height, env.TxPowerDBm, env.NoiseFloorDBm())
+	fmt.Println("\nnodes:")
+	for i, p := range pts {
+		role := "relay"
+		switch i {
+		case 0:
+			role = "src"
+		case len(pts) - 1:
+			role = "dst"
+		}
+		fmt.Printf("  %2d %-6s (%5.1f, %5.1f)\n", i, role, p.X, p.Y)
+	}
+
+	fmt.Printf("\nlink SNR (dB) and delivery probability at %d Mbps:\n", *rateM)
+	meas := topo.Measure(rng, rate, 1000, 100, 0.1)
+	n := topo.N()
+	fmt.Printf("%8s", "")
+	for j := 0; j < n; j++ {
+		fmt.Printf("%12d", j)
+	}
+	fmt.Println()
+	for i := 0; i < n; i++ {
+		fmt.Printf("%8d", i)
+		for j := 0; j < n; j++ {
+			if i == j {
+				fmt.Printf("%12s", "-")
+				continue
+			}
+			fmt.Printf("  %5.1f/%4.2f", topo.Links[i][j].SNRdB, meas.Delivery[i][j])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nETX distance to destination per node:")
+	for i, d := range meas.DistTo {
+		fmt.Printf("  node %d: %.2f\n", i, d)
+	}
+	path, metric := meas.Graph.ShortestPath(0, n-1)
+	fmt.Printf("\nmin-ETX single path: %v (metric %.2f)\n", path, metric)
+	fmt.Printf("ExOR forwarder set from src (priority order): %v\n", meas.Graph.ForwarderSet(0, n-1))
+}

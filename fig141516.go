@@ -1,0 +1,300 @@
+package sourcesync
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/modem"
+	"repro/internal/phy"
+	"repro/internal/testbed"
+)
+
+// ---------------------------------------------------------------- Fig. 14
+
+// Fig14Options configures the delay-spread measurement.
+type Fig14Options struct {
+	Seed  int64
+	Draws int // channel realizations averaged
+	Taps  int // number of tap indices reported
+}
+
+// DefaultFig14Options returns the parameters used by ssbench.
+func DefaultFig14Options() Fig14Options { return Fig14Options{Seed: 3, Draws: 200, Taps: 70} }
+
+// Fig14Point is the average power of one channel tap.
+type Fig14Point struct {
+	TapIdx int
+	Power  float64 // |h|^2, normalized so tap 0 averages 1
+}
+
+// RunFig14 regenerates Figure 14: the time-domain power-delay profile of a
+// single sender's channel on the WiGLAN profile. The paper's channel shows
+// ~15 significant taps (117 ns at 128 MHz).
+func RunFig14(o Fig14Options) []Fig14Point {
+	cfg := ProfileWiGLAN()
+	rng := rand.New(rand.NewSource(o.Seed))
+	acc := make([]float64, o.Taps)
+	for d := 0; d < o.Draws; d++ {
+		m := channel.NewIndoor(rng, cfg.SampleRateHz, 45, 3)
+		for i, p := range m.PowerDelayProfile() {
+			if i < o.Taps {
+				acc[i] += p
+			}
+		}
+	}
+	norm := acc[0] / float64(o.Draws)
+	out := make([]Fig14Point, o.Taps)
+	for i := range acc {
+		out[i] = Fig14Point{TapIdx: i, Power: acc[i] / float64(o.Draws) / norm}
+	}
+	return out
+}
+
+// SignificantTaps counts taps above the given fraction of the strongest tap
+// (the paper's "~15 significant taps" metric at 1%).
+func SignificantTaps(points []Fig14Point, fraction float64) int {
+	var peak float64
+	for _, p := range points {
+		if p.Power > peak {
+			peak = p.Power
+		}
+	}
+	n := 0
+	for _, p := range points {
+		if p.Power >= peak*fraction {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------- Figs. 15 & 16
+
+// Fig15Options configures the power/diversity gain measurement (§8.2).
+type Fig15Options struct {
+	Seed       int64
+	Placements int // random transmitter-pair placements
+	Frames     int // joint frames per placement
+}
+
+// DefaultFig15Options returns the parameters used by ssbench.
+func DefaultFig15Options() Fig15Options { return Fig15Options{Seed: 4, Placements: 36, Frames: 2} }
+
+// Fig15Row aggregates one SNR regime.
+type Fig15Row struct {
+	Regime       string
+	SingleSNRdB  float64 // average single-sender SNR
+	JointSNRdB   float64 // average composite SNR with SourceSync
+	GainDB       float64
+	Measurements int
+}
+
+// fig15Sample is one placement's measurement.
+type fig15Sample struct {
+	regime    testbed.Regime
+	singleDB  float64
+	jointDB   float64
+	perBin1   map[int]float64
+	perBin2   map[int]float64
+	perBinSum map[int]float64
+}
+
+// RunFig15 regenerates Figure 15: average SNR per regime for a single
+// sender versus joint SourceSync transmission (expected: 2-3 dB gain).
+func RunFig15(o Fig15Options) []Fig15Row {
+	samples := fig15Measure(o)
+	rows := map[testbed.Regime]*Fig15Row{}
+	counts := map[testbed.Regime]int{}
+	var singleLin, jointLin map[testbed.Regime]float64
+	singleLin = map[testbed.Regime]float64{}
+	jointLin = map[testbed.Regime]float64{}
+	for _, s := range samples {
+		singleLin[s.regime] += dsp.FromDB(s.singleDB)
+		jointLin[s.regime] += dsp.FromDB(s.jointDB)
+		counts[s.regime]++
+	}
+	for _, reg := range []testbed.Regime{testbed.HighSNR, testbed.MediumSNR, testbed.LowSNR} {
+		n := counts[reg]
+		if n == 0 {
+			continue
+		}
+		single := dsp.DB(singleLin[reg] / float64(n))
+		joint := dsp.DB(jointLin[reg] / float64(n))
+		rows[reg] = &Fig15Row{
+			Regime: reg.String(), SingleSNRdB: single, JointSNRdB: joint,
+			GainDB: joint - single, Measurements: n,
+		}
+	}
+	var out []Fig15Row
+	for _, reg := range []testbed.Regime{testbed.HighSNR, testbed.MediumSNR, testbed.LowSNR} {
+		if r, ok := rows[reg]; ok {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// Fig16Series is the per-subcarrier SNR profile of one regime.
+type Fig16Series struct {
+	Regime   string
+	FreqMHz  []float64
+	Sender1  []float64 // dB per subcarrier
+	Sender2  []float64
+	Joint    []float64
+	Flatness struct {
+		Sender1, Sender2, Joint float64 // std dev across subcarriers, dB
+	}
+}
+
+// RunFig16 regenerates Figure 16: per-subcarrier SNR profiles for each
+// sender alone and for the joint transmission. As in the paper, each regime
+// shows one representative placement (the figure's point is that individual
+// senders fade in different subcarriers while the joint profile is flat —
+// averaging across placements would wash the fades out). The sample whose
+// individual profiles are the most frequency-selective represents each
+// regime.
+func RunFig16(o Fig15Options) []Fig16Series {
+	cfg := ProfileWiGLAN()
+	samples := fig15Measure(o)
+	best := map[testbed.Regime]*fig15Sample{}
+	bestSel := map[testbed.Regime]float64{}
+	toSeries := func(m map[int]float64) ([]int, []float64) {
+		ks := make([]int, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		vals := make([]float64, len(ks))
+		for i, k := range ks {
+			vals[i] = dsp.DB(m[k])
+		}
+		return ks, vals
+	}
+	for i := range samples {
+		s := &samples[i]
+		_, v1 := toSeries(s.perBin1)
+		_, v2 := toSeries(s.perBin2)
+		sel := dsp.StdDev(v1) + dsp.StdDev(v2)
+		if sel > bestSel[s.regime] {
+			bestSel[s.regime] = sel
+			best[s.regime] = s
+		}
+	}
+	var out []Fig16Series
+	spacing := cfg.SubcarrierSpacingHz() / 1e6
+	for _, reg := range []testbed.Regime{testbed.HighSNR, testbed.MediumSNR, testbed.LowSNR} {
+		s := best[reg]
+		if s == nil {
+			continue
+		}
+		ks, v1 := toSeries(s.perBin1)
+		_, v2 := toSeries(s.perBin2)
+		_, vj := toSeries(s.perBinSum)
+		ser := Fig16Series{Regime: reg.String()}
+		for _, k := range ks {
+			ser.FreqMHz = append(ser.FreqMHz, float64(k)*spacing)
+		}
+		ser.Sender1 = v1
+		ser.Sender2 = v2
+		ser.Joint = vj
+		ser.Flatness.Sender1 = dsp.StdDev(v1)
+		ser.Flatness.Sender2 = dsp.StdDev(v2)
+		ser.Flatness.Joint = dsp.StdDev(vj)
+		out = append(out, ser)
+	}
+	return out
+}
+
+// fig15Measure runs the underlying placements for Figs. 15 and 16.
+func fig15Measure(o Fig15Options) []fig15Sample {
+	cfg := ProfileWiGLAN()
+	rng := rand.New(rand.NewSource(o.Seed))
+	var out []fig15Sample
+	for pl := 0; pl < o.Placements; pl++ {
+		// Sweep the operating point so all regimes are populated; both
+		// senders within a couple dB of each other, as in a placed pair.
+		// The sweep is in per-sample SNR; the per-subcarrier SNR the
+		// receiver measures sits ~8 dB higher on this profile (the signal
+		// occupies 20 of 128 bins), so the range below covers the paper's
+		// <6 / 6-12 / >12 dB regimes.
+		base := -14 + 24*float64(pl)/float64(o.Placements)
+		snr1 := base + rng.Float64()*2 - 1
+		snr2 := base + rng.Float64()*2 - 1
+		for f := 0; f < o.Frames; f++ {
+			s, ok := fig15Frame(rng, cfg, snr1, snr2)
+			if ok {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// fig15Frame runs one joint frame and extracts SNR measurements.
+func fig15Frame(rng *rand.Rand, cfg *Config, snr1, snr2 float64) (fig15Sample, bool) {
+	p := phy.JointFrameParams{
+		Cfg: cfg, Rate: modem.Rate{Mod: modem.QPSK, Code: modem.Rate12},
+		DataCP: cfg.CPLen, PayloadLen: 40, Seed: 0x5d, NumCo: 1,
+		LeadID: 2, PacketID: 0x15,
+	}
+	mk := func() *channel.Multipath { return channel.NewIndoor(rng, cfg.SampleRateHz, 30, 3) }
+	noise := channel.NoisePowerForSNR(cePower(cfg), 0) // unit-SNR reference
+	g1 := math.Sqrt(dsp.FromDB(snr1))
+	g2 := math.Sqrt(dsp.FromDB(snr2))
+	dLeadCo := 1 + rng.Float64()*8
+	tLeadRx := 1 + rng.Float64()*10
+	tCoRx := 1 + rng.Float64()*10
+	sim := &phy.JointSimConfig{
+		P:        p,
+		Lead:     phy.LeadSim{ResidCFO: smallResid(rng, cfg), Phase: rng.Float64() * 2 * math.Pi},
+		LeadToCo: []phy.Link{{Gain: 4, Delay: dLeadCo, Path: mk()}}, // inter-sender link strong
+		LeadToRx: phy.Link{Gain: g1, Delay: tLeadRx, Path: mk()},
+		CoToRx:   []phy.Link{{Gain: g2, Delay: tCoRx, Path: mk()}},
+		Co: []phy.CoSenderSim{{
+			Turnaround:       700,
+			OscCFO:           channel.PPMToCFO((rng.Float64()*2-1)*20, 5.8e9, cfg.SampleRateHz),
+			ResidCFO:         smallResid(rng, cfg),
+			Phase:            rng.Float64() * 2 * math.Pi,
+			EstDelayFromLead: dLeadCo,
+			TxOffset:         tLeadRx - tCoRx,
+			NoisePower:       noise,
+			FFTBackoff:       3,
+			DetectJitter:     38,
+		}},
+		NoiseRx: noise,
+		Rng:     rng,
+	}
+	payload := make([]byte, p.PayloadLen)
+	rng.Read(payload)
+	run, err := sim.Run(payload)
+	if err != nil || !run.CoJoined[0] {
+		return fig15Sample{}, false
+	}
+	rx := &phy.JointReceiver{Cfg: cfg, FFTBackoff: 3}
+	res, err := rx.Receive(run.RxWave, 0)
+	if err != nil || !res.ActiveCo[0] {
+		return fig15Sample{}, false
+	}
+	s1 := res.SenderSNR(0)
+	s2 := res.SenderSNR(1)
+	j := res.CompositeSNR()
+	avg := func(m map[int]float64) float64 {
+		var lin float64
+		for _, v := range m {
+			lin += v
+		}
+		return dsp.DB(lin / float64(len(m)))
+	}
+	single := dsp.DB((dsp.FromDB(avg(s1)) + dsp.FromDB(avg(s2))) / 2)
+	return fig15Sample{
+		regime:    testbed.ClassifyRegime(single),
+		singleDB:  single,
+		jointDB:   avg(j),
+		perBin1:   s1,
+		perBin2:   s2,
+		perBinSum: j,
+	}, true
+}

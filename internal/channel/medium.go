@@ -1,0 +1,92 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/dsp"
+)
+
+// Emission is one transmitter's contribution to a receiver's baseband
+// stream: a waveform launched at an absolute (fractional) sample time,
+// passed through a multipath channel, scaled by the link's amplitude gain
+// and rotated by the transmitter oscillator's frequency and phase offsets.
+type Emission struct {
+	Wave  []complex128
+	Start float64    // absolute start time in receiver samples; may be fractional
+	Gain  float64    // amplitude gain (sqrt of power gain); 0 means 1.0
+	CFO   float64    // transmitter-vs-receiver frequency offset, cycles/sample
+	Phase float64    // oscillator phase offset at absolute sample 0, radians
+	Path  *Multipath // nil means flat
+}
+
+// Mix renders the receiver's baseband stream over the absolute sample window
+// [origin, origin+n): the superposition of all emissions plus complex AWGN
+// of the given per-sample power. Emissions that begin before origin are
+// rejected (panic) since their energy would be truncated silently.
+func Mix(rng *rand.Rand, n, origin int, noisePower float64, emissions ...Emission) []complex128 {
+	out := make([]complex128, n)
+	for _, e := range emissions {
+		renderInto(out, origin, e)
+	}
+	if noisePower > 0 {
+		sigma := math.Sqrt(noisePower / 2)
+		for i := range out {
+			out[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		}
+	}
+	return out
+}
+
+func renderInto(out []complex128, origin int, e Emission) {
+	rel := e.Start - float64(origin)
+	if rel < 0 {
+		panic("channel: emission starts before mixing window")
+	}
+	wave := e.Wave
+	if e.Path != nil {
+		wave = e.Path.Apply(wave)
+	}
+	// Fractional+integer delay to the emission's absolute position.
+	delayed := dsp.DelaySamples(wave, rel, 12)
+	gain := e.Gain
+	if gain == 0 {
+		gain = 1
+	}
+	// Oscillator rotation is a function of absolute time so that concurrent
+	// emissions from different senders rotate relative to each other exactly
+	// as in the paper (§5).
+	rot := cmplx.Rect(gain, e.Phase)
+	step := cmplx.Exp(complex(0, 2*math.Pi*e.CFO))
+	cur := rot * cmplx.Exp(complex(0, 2*math.Pi*e.CFO*float64(origin)))
+	for i, v := range delayed {
+		if i >= len(out) {
+			break
+		}
+		out[i] += v * cur
+		cur *= step
+		if i&1023 == 1023 {
+			// Keep |cur| from drifting over long frames.
+			cur = cur / complex(cmplx.Abs(cur)/gain, 0)
+		}
+	}
+}
+
+// NoisePowerForSNR returns the per-sample noise power that yields the given
+// SNR (dB) against a signal of per-sample power sigPower.
+func NoisePowerForSNR(sigPower, snrDB float64) float64 {
+	return sigPower / dsp.FromDB(snrDB)
+}
+
+// AddAWGN adds complex white Gaussian noise of the given per-sample power to
+// x in place.
+func AddAWGN(rng *rand.Rand, x []complex128, noisePower float64) {
+	if noisePower <= 0 {
+		return
+	}
+	sigma := math.Sqrt(noisePower / 2)
+	for i := range x {
+		x[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+}

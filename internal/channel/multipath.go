@@ -1,0 +1,144 @@
+// Package channel emulates the indoor wireless channel the SourceSync
+// testbed ran over: sample-spaced multipath with Rayleigh or Rician taps and
+// an exponential power-delay profile, AWGN, log-distance path loss with
+// shadowing, per-oscillator carrier frequency offsets, and a Medium that
+// mixes the emissions of several concurrent transmitters at each receiver
+// with fractional-sample propagation delays.
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/dsp"
+)
+
+// Multipath is a sample-spaced tap-delay-line channel.
+type Multipath struct {
+	Taps []complex128
+}
+
+// NewRayleigh draws a Rayleigh-fading multipath channel with nTaps taps and
+// an exponential power-delay profile with the given decay constant (in
+// taps). The realized tap power is normalized to exactly 1: small-scale
+// fading shows up per subcarrier (frequency selectivity) while large-scale
+// power variation is modeled separately by shadowing in the path loss model,
+// keeping link budgets controlled in experiments.
+func NewRayleigh(rng *rand.Rand, nTaps int, decayTaps float64) *Multipath {
+	if nTaps < 1 {
+		nTaps = 1
+	}
+	taps := make([]complex128, nTaps)
+	for i := range taps {
+		p := math.Exp(-float64(i) / math.Max(decayTaps, 1e-9))
+		g := math.Sqrt(p / 2)
+		taps[i] = complex(rng.NormFloat64()*g, rng.NormFloat64()*g)
+	}
+	m := &Multipath{Taps: taps}
+	norm := 1 / math.Sqrt(m.Power())
+	for i := range taps {
+		taps[i] *= complex(norm, 0)
+	}
+	return m
+}
+
+// NewRician is like NewRayleigh but adds a deterministic line-of-sight
+// component on the first tap with the given K-factor (dB): the ratio of LOS
+// power to total scattered power.
+func NewRician(rng *rand.Rand, nTaps int, decayTaps, kFactorDB float64) *Multipath {
+	m := NewRayleigh(rng, nTaps, decayTaps)
+	k := dsp.FromDB(kFactorDB)
+	// Scattered power is currently 1; scale so scattered + LOS = 1.
+	scatter := 1 / (1 + k)
+	los := k / (1 + k)
+	s := math.Sqrt(scatter)
+	for i := range m.Taps {
+		m.Taps[i] *= complex(s, 0)
+	}
+	phase := rng.Float64() * 2 * math.Pi
+	m.Taps[0] += cmplx.Rect(math.Sqrt(los), phase)
+	// Renormalize the realized power (LOS and scatter add incoherently only
+	// in expectation).
+	norm := complex(1/math.Sqrt(m.Power()), 0)
+	for i := range m.Taps {
+		m.Taps[i] *= norm
+	}
+	return m
+}
+
+// Flat returns a single-tap unit channel (no multipath).
+func Flat() *Multipath {
+	return &Multipath{Taps: []complex128{1}}
+}
+
+// NewIndoor draws a channel whose RMS delay spread is roughly spreadNs at
+// sample rate fs. Line-of-sight placements should pass a positive K-factor.
+func NewIndoor(rng *rand.Rand, fs, spreadNs, kFactorDB float64) *Multipath {
+	decayTaps := spreadNs * 1e-9 * fs
+	nTaps := int(math.Ceil(4*decayTaps)) + 1
+	if kFactorDB > 0 {
+		return NewRician(rng, nTaps, decayTaps, kFactorDB)
+	}
+	return NewRayleigh(rng, nTaps, decayTaps)
+}
+
+// Apply convolves x with the channel, returning len(x)+len(Taps)-1 samples.
+func (m *Multipath) Apply(x []complex128) []complex128 {
+	out := make([]complex128, len(x)+len(m.Taps)-1)
+	for i, t := range m.Taps {
+		if t == 0 {
+			continue
+		}
+		for j, v := range x {
+			out[i+j] += t * v
+		}
+	}
+	return out
+}
+
+// FreqResponse returns the channel's frequency response on an nfft-point
+// grid (FFT bin order).
+func (m *Multipath) FreqResponse(nfft int) []complex128 {
+	t := make([]complex128, nfft)
+	copy(t, m.Taps)
+	return dsp.FFT(t)
+}
+
+// PowerDelayProfile returns |tap|^2 per tap index.
+func (m *Multipath) PowerDelayProfile() []float64 {
+	out := make([]float64, len(m.Taps))
+	for i, t := range m.Taps {
+		out[i] = real(t)*real(t) + imag(t)*imag(t)
+	}
+	return out
+}
+
+// Power returns the total tap power (1.0 for freshly drawn channels).
+func (m *Multipath) Power() float64 {
+	var p float64
+	for _, v := range m.PowerDelayProfile() {
+		p += v
+	}
+	return p
+}
+
+// RMSDelaySpread returns the root-mean-square delay spread in taps.
+func (m *Multipath) RMSDelaySpread() float64 {
+	pdp := m.PowerDelayProfile()
+	var p, mean float64
+	for i, v := range pdp {
+		p += v
+		mean += float64(i) * v
+	}
+	if p == 0 {
+		return 0
+	}
+	mean /= p
+	var sq float64
+	for i, v := range pdp {
+		d := float64(i) - mean
+		sq += d * d * v
+	}
+	return math.Sqrt(sq / p)
+}

@@ -1,0 +1,123 @@
+package dsp
+
+import "math/cmplx"
+
+// CrossCorrelate computes the normalized cross-correlation magnitude of x
+// against the reference sequence ref at every lag in [0, len(x)-len(ref)].
+// The result at lag k is |sum(x[k+i]*conj(ref[i]))| / sqrt(E_ref * E_window),
+// which is 1.0 for a perfect scaled match and near 0 for noise.
+func CrossCorrelate(x, ref []complex128) []float64 {
+	n := len(x) - len(ref) + 1
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	eRef := Energy(ref)
+	if eRef == 0 {
+		return out
+	}
+	for k := 0; k < n; k++ {
+		var acc complex128
+		var eWin float64
+		for i, r := range ref {
+			v := x[k+i]
+			acc += v * cmplx.Conj(r)
+			eWin += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if eWin == 0 {
+			continue
+		}
+		den := eRef * eWin
+		out[k] = cmplx.Abs(acc) / sqrt(den)
+	}
+	return out
+}
+
+// PeakIndex returns the index of the maximum value of x and that value. It
+// returns (-1, 0) for an empty slice.
+func PeakIndex(x []float64) (int, float64) {
+	if len(x) == 0 {
+		return -1, 0
+	}
+	best, bestV := 0, x[0]
+	for i, v := range x {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}
+
+// AutoCorrRatio computes, for each sample offset, the Schmidl–Cox style
+// metric |sum(x[d+i]*conj(x[d+i+lag]))|^2 / (sum |x[d+i+lag]|^2)^2 over a
+// window of win samples. Values near 1 indicate a periodic training sequence
+// with period lag starting near d. Used for coarse packet detection.
+func AutoCorrRatio(x []complex128, lag, win int) []float64 {
+	n := len(x) - lag - win
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	var p complex128
+	var r float64
+	// Initialize window at d = 0.
+	for i := 0; i < win; i++ {
+		p += x[i] * cmplx.Conj(x[i+lag])
+		r += sqmag(x[i+lag])
+	}
+	for d := 0; d < n; d++ {
+		if r > 1e-30 {
+			m := cmplx.Abs(p)
+			out[d] = m * m / (r * r)
+		}
+		// Slide the window by one sample.
+		if d+1 < n {
+			p -= x[d] * cmplx.Conj(x[d+lag])
+			p += x[d+win] * cmplx.Conj(x[d+win+lag])
+			r -= sqmag(x[d+lag])
+			r += sqmag(x[d+win+lag])
+			if r < 0 {
+				r = 0
+			}
+		}
+	}
+	return out
+}
+
+// DoubleSlidingWindow computes the ratio of energy in the window of w samples
+// after each index to the energy in the w samples before it. A sharp rise in
+// the ratio marks the arrival of packet energy over the noise floor.
+func DoubleSlidingWindow(x []complex128, w int) []float64 {
+	n := len(x) - 2*w
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	var before, after float64
+	for i := 0; i < w; i++ {
+		before += sqmag(x[i])
+		after += sqmag(x[i+w])
+	}
+	for d := 0; d < n; d++ {
+		if before > 1e-30 {
+			out[d] = after / before
+		} else {
+			out[d] = 0
+		}
+		if d+1 < n {
+			before += sqmag(x[d+w]) - sqmag(x[d])
+			after += sqmag(x[d+2*w]) - sqmag(x[d+w])
+			if before < 0 {
+				before = 0
+			}
+			if after < 0 {
+				after = 0
+			}
+		}
+	}
+	return out
+}
+
+func sqmag(v complex128) float64 {
+	return real(v)*real(v) + imag(v)*imag(v)
+}

@@ -1,0 +1,86 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCrossCorrelateFindsEmbeddedReference(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	ref := randVec(r, 32)
+	x := make([]complex128, 200)
+	for i := range x {
+		x[i] = complex(r.NormFloat64()*0.1, r.NormFloat64()*0.1)
+	}
+	at := 77
+	for i, v := range ref {
+		x[at+i] += v
+	}
+	corr := CrossCorrelate(x, ref)
+	idx, peak := PeakIndex(corr)
+	if idx != at {
+		t.Fatalf("peak at %d, want %d", idx, at)
+	}
+	if peak < 0.9 {
+		t.Fatalf("peak %g too weak", peak)
+	}
+}
+
+func TestCrossCorrelatePerfectMatchIsOne(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	ref := randVec(r, 16)
+	corr := CrossCorrelate(ref, ref)
+	if len(corr) != 1 {
+		t.Fatalf("len = %d", len(corr))
+	}
+	if corr[0] < 0.999999 || corr[0] > 1.000001 {
+		t.Fatalf("self correlation = %g, want 1", corr[0])
+	}
+}
+
+func TestAutoCorrRatioDetectsPeriodicity(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	period := 16
+	// Build noise, then a periodic section of 5 periods.
+	x := randVec(r, 64)
+	Scale(x, 0.05)
+	rep := randVec(r, period)
+	for k := 0; k < 5; k++ {
+		x = append(x, rep...)
+	}
+	x = append(x, randVecScaled(r, 64, 0.05)...)
+	m := AutoCorrRatio(x, period, 2*period)
+	// The metric should approach 1 inside the periodic run (starting near
+	// sample 64) and stay small in the leading noise.
+	inside := m[70]
+	outside := m[5]
+	if inside < 0.8 {
+		t.Fatalf("metric inside periodic region = %g, want > 0.8", inside)
+	}
+	if outside > 0.5 {
+		t.Fatalf("metric in noise = %g, want < 0.5", outside)
+	}
+}
+
+func TestDoubleSlidingWindowRisesAtPacketStart(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	noise := randVecScaled(r, 128, 0.05)
+	signal := randVec(r, 128)
+	x := append(noise, signal...)
+	ratio := DoubleSlidingWindow(x, 16)
+	// Just before the boundary the after-window holds signal, before-window
+	// noise, so the ratio must spike far above 1.
+	peakIdx, peak := PeakIndex(ratio)
+	if peak < 10 {
+		t.Fatalf("peak ratio %g too small", peak)
+	}
+	if peakIdx < 128-20 || peakIdx > 128 {
+		t.Fatalf("peak at %d, want near 112..128", peakIdx)
+	}
+}
+
+func randVecScaled(r *rand.Rand, n int, s float64) []complex128 {
+	v := randVec(r, n)
+	Scale(v, s)
+	return v
+}

@@ -1,0 +1,99 @@
+package dsp
+
+import "math"
+
+// sqrt is a local alias so hot paths avoid repeated package qualification.
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// DelaySamples delays waveform x by a (possibly fractional) number of
+// samples. The integer part is realized by prepending zeros; the fractional
+// part by a windowed-sinc interpolation filter with the given number of taps
+// per side (total 2*side+1 taps). The returned slice is longer than x by the
+// integer delay plus the filter's tail.
+//
+// Fractional delay is what makes sub-sample misalignment between SourceSync
+// senders representable at the waveform level.
+func DelaySamples(x []complex128, delay float64, side int) []complex128 {
+	if delay < 0 {
+		panic("dsp: negative delay")
+	}
+	ip := int(math.Floor(delay))
+	frac := delay - float64(ip)
+	var filtered []complex128
+	if frac < 1e-9 {
+		filtered = x
+	} else {
+		filtered = fracDelayFilter(x, frac, side)
+	}
+	out := make([]complex128, ip+len(filtered))
+	copy(out[ip:], filtered)
+	return out
+}
+
+// fracDelayFilter applies a Hann-windowed sinc filter implementing a delay of
+// frac (0 < frac < 1) samples. The output has len(x)+2*side samples: `side`
+// samples of filter delay are kept at the head so the group delay of the
+// filter itself (side samples) plus frac equals the shift of the signal
+// within the returned slice minus side. Callers that care about absolute
+// timing should use DelaySamples, which accounts for this.
+func fracDelayFilter(x []complex128, frac float64, side int) []complex128 {
+	if side < 1 {
+		side = 8
+	}
+	taps := make([]float64, 2*side+1)
+	var sum float64
+	for i := range taps {
+		// Tap i corresponds to n = i - side; the ideal filter for delay
+		// d = side + frac (integer group delay + fractional part) is
+		// sinc(i - d) windowed.
+		t := float64(i) - (float64(side) + frac)
+		s := sinc(t)
+		w := 0.5 * (1 + math.Cos(math.Pi*(float64(i)-float64(side))/float64(side+1)))
+		taps[i] = s * w
+		sum += taps[i]
+	}
+	// Normalize DC gain to 1 so the delay does not change signal power.
+	if sum != 0 {
+		for i := range taps {
+			taps[i] /= sum
+		}
+	}
+	out := make([]complex128, len(x)+2*side)
+	for i, v := range x {
+		if v == 0 {
+			continue
+		}
+		for j, t := range taps {
+			out[i+j] += v * complex(t, 0)
+		}
+	}
+	// The filter imposes `side` samples of group delay; the caller asked for
+	// frac only, so drop `side` leading samples to leave just the fractional
+	// shift (content then starts at 0 shifted by frac).
+	return out[side:]
+}
+
+func sinc(x float64) float64 {
+	if math.Abs(x) < 1e-12 {
+		return 1
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}
+
+// PhaseRampDelay applies a delay of d samples to a frequency-domain symbol by
+// multiplying subcarrier k (in FFT bin order, with negative frequencies in
+// the upper half) by e^{-j*2*pi*k*d/N}. This is the FFT shift property the
+// SLS detection-delay estimator inverts (paper Eq. 1).
+func PhaseRampDelay(bins []complex128, d float64) {
+	n := len(bins)
+	for k := range bins {
+		// Signed subcarrier index for bins in standard FFT order.
+		sk := k
+		if k > n/2 {
+			sk = k - n
+		}
+		angle := -2 * math.Pi * float64(sk) * d / float64(n)
+		bins[k] *= complex(math.Cos(angle), math.Sin(angle))
+	}
+}

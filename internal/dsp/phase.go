@@ -1,0 +1,62 @@
+package dsp
+
+import "math"
+
+// Unwrap removes 2*pi discontinuities from a sequence of phases (radians),
+// returning a new slice where successive differences are within (-pi, pi].
+func Unwrap(phases []float64) []float64 {
+	out := make([]float64, len(phases))
+	if len(phases) == 0 {
+		return out
+	}
+	out[0] = phases[0]
+	offset := 0.0
+	for i := 1; i < len(phases); i++ {
+		d := phases[i] - phases[i-1]
+		for d > math.Pi {
+			d -= 2 * math.Pi
+			offset -= 2 * math.Pi
+		}
+		for d <= -math.Pi {
+			d += 2 * math.Pi
+			offset += 2 * math.Pi
+		}
+		out[i] = phases[i] + offset
+	}
+	return out
+}
+
+// LinearFit performs ordinary least squares on the points (xs[i], ys[i]) and
+// returns the slope and intercept. It panics if fewer than two points are
+// given or the xs are all identical.
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("dsp: LinearFit needs >= 2 points with matching lengths")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		panic("dsp: LinearFit degenerate x values")
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// WrapPhase reduces an angle to (-pi, pi].
+func WrapPhase(p float64) float64 {
+	for p > math.Pi {
+		p -= 2 * math.Pi
+	}
+	for p <= -math.Pi {
+		p += 2 * math.Pi
+	}
+	return p
+}

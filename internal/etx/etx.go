@@ -1,0 +1,164 @@
+// Package etx implements the ETX (expected transmission count) link metric
+// of De Couto et al. and shortest-ETX-path routing, the substrate both
+// single-path routing and ExOR forwarder selection build on (paper §7.2).
+package etx
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Inf is the metric of an unusable link or unreachable node.
+var Inf = math.Inf(1)
+
+// LinkETX returns the ETX of a link whose forward and reverse delivery
+// probabilities are df and dr: 1/(df*dr). Links below a minimum delivery
+// probability are unusable (routing protocols prune them).
+func LinkETX(df, dr float64) float64 {
+	p := df * dr
+	if p <= 0 {
+		return Inf
+	}
+	return 1 / p
+}
+
+// Graph is a directed graph with ETX edge weights, nodes indexed 0..N-1.
+type Graph struct {
+	n   int
+	adj [][]edge
+}
+
+type edge struct {
+	to int
+	w  float64
+}
+
+// NewGraph creates a graph with n nodes and no edges.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, adj: make([][]edge, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// AddLink adds a directed edge with the given ETX weight; non-finite or
+// non-positive weights are ignored.
+func (g *Graph) AddLink(from, to int, w float64) {
+	if math.IsInf(w, 0) || math.IsNaN(w) || w <= 0 {
+		return
+	}
+	g.adj[from] = append(g.adj[from], edge{to, w})
+}
+
+// item is a priority queue entry for Dijkstra.
+type item struct {
+	node int
+	dist float64
+}
+
+type pq []item
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(item)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// DistancesTo returns, for every node, the minimum total ETX to reach dst
+// (running Dijkstra on the reversed graph). Unreachable nodes get +Inf.
+// This is the "ETX distance from the destination" ordering ExOR uses for
+// its forwarder priority.
+func (g *Graph) DistancesTo(dst int) []float64 {
+	// Build reverse adjacency.
+	radj := make([][]edge, g.n)
+	for u, es := range g.adj {
+		for _, e := range es {
+			radj[e.to] = append(radj[e.to], edge{u, e.w})
+		}
+	}
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[dst] = 0
+	q := &pq{{dst, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(item)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, e := range radj[it.node] {
+			if nd := it.dist + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(q, item{e.to, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns the minimum-ETX path from src to dst (inclusive) and
+// its total metric, or nil if unreachable.
+func (g *Graph) ShortestPath(src, dst int) ([]int, float64) {
+	dist := make([]float64, g.n)
+	prev := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Inf
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(item)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, e := range g.adj[it.node] {
+			if nd := it.dist + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = it.node
+				heap.Push(q, item{e.to, nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, Inf
+	}
+	var path []int
+	for at := dst; at != -1; at = prev[at] {
+		path = append(path, at)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[dst]
+}
+
+// ForwarderSet returns the nodes strictly closer (in ETX) to dst than src,
+// ordered by increasing distance to dst — ExOR's prioritized forwarder
+// list. src and unreachable nodes are excluded.
+func (g *Graph) ForwarderSet(src, dst int) []int {
+	dist := g.DistancesTo(dst)
+	var out []int
+	for v := 0; v < g.n; v++ {
+		if v == src {
+			continue
+		}
+		if dist[v] < dist[src] {
+			out = append(out, v)
+		}
+	}
+	// Insertion sort by distance (sets are tiny).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && dist[out[j]] < dist[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package etx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinkETX(t *testing.T) {
+	if got := LinkETX(1, 1); got != 1 {
+		t.Fatalf("perfect link ETX %g", got)
+	}
+	if got := LinkETX(0.5, 1); got != 2 {
+		t.Fatalf("50%% link ETX %g", got)
+	}
+	if got := LinkETX(0.5, 0.5); got != 4 {
+		t.Fatalf("bidirectional 50%% ETX %g", got)
+	}
+	if !math.IsInf(LinkETX(0, 1), 1) {
+		t.Fatal("dead link must be Inf")
+	}
+}
+
+func TestShortestPathSimpleChain(t *testing.T) {
+	g := NewGraph(3)
+	g.AddLink(0, 1, 1.2)
+	g.AddLink(1, 2, 1.3)
+	g.AddLink(0, 2, 4.0) // direct but worse
+	path, d := g.ShortestPath(0, 2)
+	if math.Abs(d-2.5) > 1e-12 {
+		t.Fatalf("dist %g", d)
+	}
+	if len(path) != 3 || path[0] != 0 || path[1] != 1 || path[2] != 2 {
+		t.Fatalf("path %v", path)
+	}
+}
+
+func TestShortestPathPrefersDirectWhenBetter(t *testing.T) {
+	g := NewGraph(3)
+	g.AddLink(0, 1, 2)
+	g.AddLink(1, 2, 2)
+	g.AddLink(0, 2, 3)
+	path, d := g.ShortestPath(0, 2)
+	if d != 3 || len(path) != 2 {
+		t.Fatalf("path %v dist %g", path, d)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := NewGraph(3)
+	g.AddLink(0, 1, 1)
+	path, d := g.ShortestPath(0, 2)
+	if path != nil || !math.IsInf(d, 1) {
+		t.Fatalf("expected unreachable, got %v %g", path, d)
+	}
+	dist := g.DistancesTo(2)
+	if !math.IsInf(dist[0], 1) || dist[2] != 0 {
+		t.Fatalf("distances %v", dist)
+	}
+}
+
+func TestAddLinkIgnoresBadWeights(t *testing.T) {
+	g := NewGraph(2)
+	g.AddLink(0, 1, Inf)
+	g.AddLink(0, 1, -2)
+	g.AddLink(0, 1, 0)
+	if _, d := g.ShortestPath(0, 1); !math.IsInf(d, 1) {
+		t.Fatal("bad-weight links should not exist")
+	}
+}
+
+func TestForwarderSetOrdering(t *testing.T) {
+	// Paper Fig. 10 topology: src 0, relays 1-3, dst 4. All relays closer
+	// to dst than src; ordering by ETX distance to dst.
+	g := NewGraph(5)
+	// src -> relays (loss 0.5 both ways -> ETX 4).
+	for _, r := range []int{1, 2, 3} {
+		g.AddLink(0, r, 4)
+		g.AddLink(r, 4, 4)
+	}
+	// Make relay 2 slightly better placed.
+	g = NewGraph(5)
+	g.AddLink(0, 1, 4)
+	g.AddLink(0, 2, 4)
+	g.AddLink(0, 3, 4)
+	g.AddLink(1, 4, 4)
+	g.AddLink(2, 4, 2)
+	g.AddLink(3, 4, 5)
+	fs := g.ForwarderSet(0, 4)
+	if len(fs) != 4 {
+		t.Fatalf("forwarder set %v", fs)
+	}
+	if fs[0] != 4 || fs[1] != 2 || fs[2] != 1 || fs[3] != 3 {
+		t.Fatalf("forwarder order %v, want [4 2 1 3]", fs)
+	}
+}
+
+func TestForwarderSetExcludesFartherNodes(t *testing.T) {
+	g := NewGraph(4)
+	g.AddLink(0, 1, 1)
+	g.AddLink(1, 0, 1)
+	g.AddLink(0, 3, 10)
+	g.AddLink(1, 3, 1)
+	g.AddLink(2, 3, 30) // node 2 exists but is farther than 0
+	g.AddLink(0, 2, 1)
+	fs := g.ForwarderSet(0, 3)
+	for _, v := range fs {
+		if v == 2 {
+			t.Fatal("node 2 is farther from dst and must be excluded")
+		}
+		if v == 0 {
+			t.Fatal("src must be excluded")
+		}
+	}
+}

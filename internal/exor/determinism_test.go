@@ -1,0 +1,59 @@
+package exor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/modem"
+)
+
+func TestSimulationDeterministicGivenSeed(t *testing.T) {
+	// Identical seeds must reproduce identical topologies, measurements and
+	// scheme results — the experiments' reproducibility contract.
+	build := func() Result {
+		rng := rand.New(rand.NewSource(123))
+		topo := paperTopology(rng, 1)
+		sim := newSim(t, rng, topo, 6)
+		return sim.Run(rand.New(rand.NewSource(9)), ExORSourceSync, 60)
+	}
+	a := build()
+	b := build()
+	if a.ThroughputBps != b.ThroughputBps || a.Transmissions != b.Transmissions || a.Delivered != b.Delivered {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMaxTxPerPacketBoundsLoss(t *testing.T) {
+	// With a nearly-dead relay->dst hop, the per-packet transmission cap
+	// must bound work and count the packet as lost.
+	rng := rand.New(rand.NewSource(5))
+	topo := paperTopology(rng, 2.0) // extreme stretch: dst far out of reach
+	rate, _ := modem.RateByMbps(12)
+	meas := topo.Measure(rng, rate, 500, 30, 0.1)
+	sim := newSim(t, rng, topo, 12)
+	sim.Meas = meas
+	sim.MaxTxPerPacket = 5
+	const pkts = 30
+	res := sim.Run(rng, ExOR, pkts)
+	if res.Transmissions > pkts*5 {
+		t.Fatalf("cap violated: %d transmissions", res.Transmissions)
+	}
+}
+
+func TestResultAccountingConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	topo := paperTopology(rng, 1)
+	sim := newSim(t, rng, topo, 6)
+	res := sim.Run(rand.New(rand.NewSource(7)), SinglePath, 50)
+	if res.Delivered > 50 {
+		t.Fatalf("delivered %d of 50", res.Delivered)
+	}
+	if res.AirTime <= 0 || res.Transmissions <= 0 {
+		t.Fatalf("accounting: %+v", res)
+	}
+	// Throughput must equal delivered payload bits over airtime.
+	want := float64(res.Delivered*sim.Payload*8) / res.AirTime
+	if res.ThroughputBps != want {
+		t.Fatalf("throughput %.1f, want %.1f", res.ThroughputBps, want)
+	}
+}

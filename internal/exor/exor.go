@@ -1,0 +1,344 @@
+// Package exor implements opportunistic routing in the style of ExOR
+// (Biswas & Morris) and its SourceSync extension (paper §7.2): batch-based
+// forwarding where any node that overhears a packet may forward it, ordered
+// by ETX distance to the destination; with SourceSync, every co-forwarder
+// that overheard both the packet and the lead forwarder's sync header joins
+// the transmission, adding sender diversity on the hop toward the
+// destination. A traditional single-path scheme over the same links serves
+// as the baseline.
+package exor
+
+import (
+	"math/rand"
+
+	"repro/internal/etx"
+	"repro/internal/mac"
+	"repro/internal/modem"
+	"repro/internal/permodel"
+	"repro/internal/sls"
+	"repro/internal/testbed"
+)
+
+// Topology is a set of placed nodes with static pairwise links. Node 0 is
+// the source; node N-1 the destination.
+type Topology struct {
+	Positions []testbed.Point
+	Links     [][]testbed.Link // directed: Links[i][j] is i -> j
+	Env       *testbed.Testbed
+}
+
+// NewTopology places the given points in an environment and draws every
+// directed link once (static shadowing).
+func NewTopology(rng *rand.Rand, env *testbed.Testbed, pts []testbed.Point) *Topology {
+	n := len(pts)
+	links := make([][]testbed.Link, n)
+	for i := 0; i < n; i++ {
+		links[i] = make([]testbed.Link, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			links[i][j] = env.NewLink(rng, pts[i], pts[j])
+		}
+	}
+	// Make links reciprocal in average SNR (same shadowing both ways), as
+	// physical channels are.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			links[j][i] = links[i][j]
+		}
+	}
+	return &Topology{Positions: pts, Links: links, Env: env}
+}
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return len(t.Positions) }
+
+// DeliveryProb estimates the delivery probability of link i->j at the given
+// rate and payload by Monte-Carlo over fading draws — the "measurement
+// phase" every scheme runs before routing.
+func (t *Topology) DeliveryProb(rng *rand.Rand, i, j int, rate modem.Rate, payload, probes int) float64 {
+	if i == j {
+		return 1
+	}
+	ok := 0
+	for p := 0; p < probes; p++ {
+		per := permodel.PER(rate, payload, t.Links[i][j].DrawSubcarrierSNRs(rng))
+		if rng.Float64() >= per {
+			ok++
+		}
+	}
+	return float64(ok) / float64(probes)
+}
+
+// Measured holds the link-measurement products all schemes share.
+type Measured struct {
+	Delivery [][]float64 // delivery probability per directed link
+	Graph    *etx.Graph
+	DistTo   []float64 // ETX distance to the destination per node
+}
+
+// Measure runs the measurement phase: per-link delivery probabilities, the
+// ETX graph (links with delivery < minDelivery pruned), and distances to
+// the destination.
+func (t *Topology) Measure(rng *rand.Rand, rate modem.Rate, payload, probes int, minDelivery float64) *Measured {
+	n := t.N()
+	del := make([][]float64, n)
+	for i := range del {
+		del[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				del[i][j] = t.DeliveryProb(rng, i, j, rate, payload, probes)
+			}
+		}
+	}
+	g := etx.NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if del[i][j] < minDelivery || del[j][i] < minDelivery {
+				continue
+			}
+			g.AddLink(i, j, etx.LinkETX(del[i][j], del[j][i]))
+		}
+	}
+	return &Measured{Delivery: del, Graph: g, DistTo: g.DistancesTo(n - 1)}
+}
+
+// Scheme selects the forwarding protocol to simulate.
+type Scheme int
+
+// Supported schemes.
+const (
+	SinglePath Scheme = iota
+	ExOR
+	ExORSourceSync
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SinglePath:
+		return "single-path"
+	case ExOR:
+		return "ExOR"
+	case ExORSourceSync:
+		return "ExOR+SourceSync"
+	}
+	return "unknown"
+}
+
+// Sim runs packets from node 0 to node N-1 and accounts medium time.
+type Sim struct {
+	Topo    *Topology
+	Meas    *Measured
+	Mac     mac.Params
+	Rate    modem.Rate
+	Payload int
+	// MaxTxPerPacket bounds the transmissions charged to one packet before
+	// it is declared lost (progress safeguard).
+	MaxTxPerPacket int
+}
+
+// Result is the outcome of a scheme simulation.
+type Result struct {
+	ThroughputBps float64
+	Delivered     int
+	Transmissions int
+	AirTime       float64
+}
+
+// Run simulates nPackets packets under the given scheme.
+func (s *Sim) Run(rng *rand.Rand, scheme Scheme, nPackets int) Result {
+	if s.MaxTxPerPacket == 0 {
+		s.MaxTxPerPacket = 40
+	}
+	switch scheme {
+	case SinglePath:
+		return s.runSinglePath(rng, nPackets)
+	case ExOR:
+		return s.runExOR(rng, nPackets, false)
+	case ExORSourceSync:
+		return s.runExOR(rng, nPackets, true)
+	}
+	panic("exor: unknown scheme")
+}
+
+// attemptSuccess draws one reception of a single-sender transmission.
+func (s *Sim) attemptSuccess(rng *rand.Rand, from, to int) bool {
+	per := permodel.PER(s.Rate, s.Payload, s.Topo.Links[from][to].DrawSubcarrierSNRs(rng))
+	return rng.Float64() >= per
+}
+
+// runSinglePath sends each packet hop by hop along the min-ETX path with
+// per-hop ARQ.
+func (s *Sim) runSinglePath(rng *rand.Rand, nPackets int) Result {
+	var res Result
+	n := s.Topo.N()
+	path, _ := s.Meas.Graph.ShortestPath(0, n-1)
+	if path == nil {
+		return res
+	}
+	ft := s.Mac.FrameDuration(s.Rate, s.Payload)
+	for p := 0; p < nPackets; p++ {
+		ok := true
+		for h := 0; h+1 < len(path) && ok; h++ {
+			from, to := path[h], path[h+1]
+			out := s.Mac.RetryLoop(rng, ft, true, func(int) bool {
+				return s.attemptSuccess(rng, from, to)
+			})
+			res.AirTime += out.AirTime
+			res.Transmissions += out.Attempts
+			ok = out.Success
+		}
+		if ok {
+			res.Delivered++
+		}
+	}
+	if res.AirTime > 0 {
+		res.ThroughputBps = float64(res.Delivered*s.Payload*8) / res.AirTime
+	}
+	return res
+}
+
+// runExOR simulates opportunistic forwarding. Each packet starts at the
+// source; at every step the holder closest to the destination (by ETX)
+// transmits, and every node strictly closer to the destination than the
+// transmitter may receive it. With sourceSync enabled, other holders in the
+// forwarder set join the transmission if they overhear the lead's sync
+// header, and receivers see the summed per-subcarrier SNR.
+func (s *Sim) runExOR(rng *rand.Rand, nPackets int, sourceSync bool) Result {
+	var res Result
+	n := s.Topo.N()
+	dst := n - 1
+	dist := s.Meas.DistTo
+	if dist[0] == etx.Inf {
+		return res
+	}
+
+	// Precompute the joint-frame airtime: co-forwarder count varies per
+	// transmission; index by number of co-senders. The CP increase comes
+	// from the multi-receiver LP over the topology's propagation delays.
+	cpInc := s.cpIncrease()
+	jointFT := make([]float64, n)
+	jointFT[0] = s.Mac.FrameDuration(s.Rate, s.Payload)
+	for k := 1; k < n; k++ {
+		jointFT[k] = s.Mac.JointFrameDuration(s.Rate, s.Payload, k, s.Mac.Cfg.CPLen+cpInc)
+	}
+
+	for p := 0; p < nPackets; p++ {
+		holders := map[int]bool{0: true}
+		tx := 0
+		for !holders[dst] && tx < s.MaxTxPerPacket {
+			lead := bestHolder(holders, dist)
+			if lead == -1 {
+				break
+			}
+			// Assemble the joint sender set. Iterate nodes in index order —
+			// map order would randomize RNG consumption and break run
+			// reproducibility.
+			senders := []int{lead}
+			if sourceSync {
+				for v := 0; v < n; v++ {
+					if !holders[v] || v == lead || dist[v] == etx.Inf {
+						continue
+					}
+					// A co-forwarder joins if it overhears the sync header
+					// (short, robust: use the measured delivery probability
+					// as its reception likelihood).
+					if rng.Float64() < s.Meas.Delivery[lead][v] {
+						senders = append(senders, v)
+					}
+				}
+			}
+			ft := jointFT[len(senders)-1]
+			res.AirTime += s.Mac.DIFS() + s.Mac.Backoff(0, rng) + ft
+			res.Transmissions++
+			tx++
+
+			// Receptions at every node closer to the destination than the
+			// lead (the forwarder set for this transmission).
+			for v := 0; v < n; v++ {
+				if holders[v] || dist[v] >= dist[lead] {
+					continue
+				}
+				var bins []float64
+				if len(senders) == 1 {
+					bins = s.Topo.Links[lead][v].DrawSubcarrierSNRs(rng)
+				} else {
+					per := make([][]float64, len(senders))
+					for i, u := range senders {
+						per[i] = s.Topo.Links[u][v].DrawSubcarrierSNRs(rng)
+					}
+					bins = permodel.JointSNR(per)
+				}
+				if rng.Float64() >= permodel.PER(s.Rate, s.Payload, bins) {
+					holders[v] = true
+				}
+			}
+		}
+		if holders[dst] {
+			res.Delivered++
+		}
+	}
+	if res.AirTime > 0 {
+		res.ThroughputBps = float64(res.Delivered*s.Payload*8) / res.AirTime
+	}
+	return res
+}
+
+// bestHolder returns the holder with minimum ETX distance to the
+// destination (excluding unreachable nodes), or -1. Ties break toward the
+// lowest node index so runs are reproducible.
+func bestHolder(holders map[int]bool, dist []float64) int {
+	best, bestD := -1, etx.Inf
+	for v := 0; v < len(dist); v++ {
+		if holders[v] && dist[v] < bestD {
+			best, bestD = v, dist[v]
+		}
+	}
+	return best
+}
+
+// cpIncrease runs the SLS multi-receiver optimization over the topology's
+// propagation delays, taking all relays as co-senders and all non-source
+// nodes as potential receivers, and returns the worst-case CP increase in
+// samples (paper §4.6). Indoors this is small (delays are sub-sample at
+// 20 MHz) but it is computed, not assumed.
+func (s *Sim) cpIncrease() int {
+	n := s.Topo.N()
+	if n < 3 {
+		return 0
+	}
+	// Lead: source. Co-senders: all relays. Receivers: relays + dst.
+	var rxs []int
+	for v := 1; v < n; v++ {
+		rxs = append(rxs, v)
+	}
+	var tLead []float64
+	var tCo [][]float64
+	for _, rx := range rxs {
+		tLead = append(tLead, s.propDelay(0, rx))
+	}
+	for co := 1; co < n-1; co++ {
+		row := make([]float64, len(rxs))
+		for k, rx := range rxs {
+			row[k] = s.propDelay(co, rx)
+		}
+		tCo = append(tCo, row)
+	}
+	_, maxMis, err := sls.MultiReceiverWaits(tLead, tCo)
+	if err != nil {
+		return 2 // conservative fallback
+	}
+	return sls.CPIncreaseSamples(maxMis)
+}
+
+func (s *Sim) propDelay(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return s.Topo.Links[i][j].PropDelaySamples()
+}

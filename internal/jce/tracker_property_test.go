@@ -1,0 +1,60 @@
+package jce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsp"
+)
+
+func TestTrackerExactAtObservationsProperty(t *testing.T) {
+	// At() returns exactly the (unwrapped) observed phase at every
+	// observation index, for any smooth trajectory.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		slope := (r.Float64()*2 - 1) * 0.8
+		p := NewPhaseTracker()
+		var obsSyms []int
+		var obsTrue []float64
+		sym := 0
+		for i := 0; i < 20; i++ {
+			truth := slope * float64(sym)
+			p.Update(sym, dsp.WrapPhase(truth))
+			obsSyms = append(obsSyms, sym)
+			obsTrue = append(obsTrue, truth)
+			sym += 1 + r.Intn(3)
+		}
+		for i, s := range obsSyms {
+			if math.Abs(dsp.WrapPhase(p.At(s)-obsTrue[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerInterpolatesBetweenObservations(t *testing.T) {
+	p := NewPhaseTracker()
+	p.Update(0, 0)
+	p.Update(10, 1.0)
+	if got := p.At(5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("midpoint %g, want 0.5", got)
+	}
+	// Backward query before the first observation extrapolates with the
+	// smoothed slope, not a constant.
+	if got := p.At(-10); math.Abs(got-(-1.0)) > 1e-9 {
+		t.Fatalf("backward extrapolation %g, want -1", got)
+	}
+}
+
+func TestTrackerEmpty(t *testing.T) {
+	p := NewPhaseTracker()
+	if p.At(5) != 0 || p.Observations() != 0 || p.ResidualCFO() != 0 {
+		t.Fatal("empty tracker defaults")
+	}
+}

@@ -1,0 +1,42 @@
+package lasthop
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestJointCPIncreaseCostsThroughput(t *testing.T) {
+	// The CP increase the SLS advertises for residual misalignment is pure
+	// overhead; a larger increase must not raise throughput.
+	base := testConfig([]float64{12, 12}, 300)
+	more := base
+	more.DataCPIncrease = 8
+	j0 := base.RunJoint(rand.New(rand.NewSource(1)))
+	j8 := more.RunJoint(rand.New(rand.NewSource(1)))
+	if j8.ThroughputBps > j0.ThroughputBps*1.02 {
+		t.Fatalf("CP increase improved throughput: %.2f vs %.2f Mbps",
+			j8.ThroughputBps/1e6, j0.ThroughputBps/1e6)
+	}
+}
+
+func TestThreeAPJointUsesQuasiOrthogonalOverhead(t *testing.T) {
+	// Three APs: more CE slots, more power. At low per-AP SNR the extra
+	// power should still win over two APs.
+	two := testConfig([]float64{7, 7}, 300)
+	three := testConfig([]float64{7, 7, 7}, 300)
+	j2 := two.RunJoint(rand.New(rand.NewSource(2)))
+	j3 := three.RunJoint(rand.New(rand.NewSource(3)))
+	if j3.ThroughputBps <= j2.ThroughputBps {
+		t.Fatalf("3 APs (%.2f Mbps) should beat 2 APs (%.2f Mbps) at 7 dB",
+			j3.ThroughputBps/1e6, j2.ThroughputBps/1e6)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	c := testConfig([]float64{10, 9}, 200)
+	a := c.RunJoint(rand.New(rand.NewSource(4)))
+	b := c.RunJoint(rand.New(rand.NewSource(4)))
+	if a.ThroughputBps != b.ThroughputBps || a.Delivered != b.Delivered {
+		t.Fatalf("nondeterministic: %v vs %v", a.ThroughputBps, b.ThroughputBps)
+	}
+}

@@ -1,0 +1,118 @@
+// Package lasthop implements the paper's WLAN downlink experiment (§7.1,
+// §8.3): a client associated with multiple APs, downlink data forwarded to
+// all of them by a wired-side controller, the lead AP running SampleRate,
+// and either a single AP transmitting (selective diversity baseline) or all
+// APs transmitting jointly with SourceSync.
+package lasthop
+
+import (
+	"math/rand"
+
+	"repro/internal/mac"
+	"repro/internal/modem"
+	"repro/internal/permodel"
+	"repro/internal/samplerate"
+	"repro/internal/testbed"
+)
+
+// Config describes one client's downlink scenario.
+type Config struct {
+	Mac          mac.Params
+	PayloadBytes int
+	// APLinks are the AP->client links; index 0 need not be the best.
+	APLinks []testbed.Link
+	// DataCPIncrease is the extra cyclic prefix (samples) the joint mode
+	// spends to absorb residual misalignment (from the SLS LP; typically
+	// 0-2 samples indoors).
+	DataCPIncrease int
+	// Packets is how many downlink packets to simulate.
+	Packets int
+}
+
+// Result summarizes one simulated run.
+type Result struct {
+	ThroughputBps float64
+	Delivered     int
+	RateHistogram map[int]int // packets per rate index
+}
+
+// frameTimes computes per-rate lossless airtimes for SampleRate.
+func frameTimes(m mac.Params, payload int, joint bool, numCo, dataCP int) []float64 {
+	out := make([]float64, 0, 8)
+	for _, r := range modem.StandardRates() {
+		if joint {
+			out = append(out, m.JointFrameDuration(r, payload, numCo, dataCP))
+		} else {
+			out = append(out, m.FrameDuration(r, payload))
+		}
+	}
+	return out
+}
+
+// RunSingleAP simulates the downlink using only the AP at index ap.
+func (c Config) RunSingleAP(rng *rand.Rand, ap int) Result {
+	link := c.APLinks[ap]
+	ft := frameTimes(c.Mac, c.PayloadBytes, false, 0, 0)
+	sr := samplerate.New(ft)
+	return c.run(rng, sr, ft, func(rate modem.Rate) bool {
+		bins := link.DrawSubcarrierSNRs(rng)
+		per := permodel.PER(rate, c.PayloadBytes, bins)
+		return rng.Float64() >= per
+	})
+}
+
+// RunBestSingleAP simulates every AP alone and returns the best result —
+// the paper's "selective diversity / single best AP" baseline.
+func (c Config) RunBestSingleAP(rng *rand.Rand) Result {
+	var best Result
+	for ap := range c.APLinks {
+		r := c.RunSingleAP(rand.New(rand.NewSource(rng.Int63())), ap)
+		if r.ThroughputBps > best.ThroughputBps {
+			best = r
+		}
+	}
+	return best
+}
+
+// RunJoint simulates all APs transmitting simultaneously with SourceSync:
+// the per-packet delivery probability comes from the sum of the APs'
+// per-subcarrier SNRs (power + diversity gain), and every frame pays the
+// joint overhead (sync gap, CE slots, CP increase).
+func (c Config) RunJoint(rng *rand.Rand) Result {
+	numCo := len(c.APLinks) - 1
+	dataCP := c.Mac.Cfg.CPLen + c.DataCPIncrease
+	ft := frameTimes(c.Mac, c.PayloadBytes, true, numCo, dataCP)
+	sr := samplerate.New(ft)
+	return c.run(rng, sr, ft, func(rate modem.Rate) bool {
+		per := make([][]float64, len(c.APLinks))
+		for i, l := range c.APLinks {
+			per[i] = l.DrawSubcarrierSNRs(rng)
+		}
+		joint := permodel.JointSNR(per)
+		return rng.Float64() >= permodel.PER(rate, c.PayloadBytes, joint)
+	})
+}
+
+// run drives the SampleRate + retry loop for c.Packets packets; attempt
+// success is decided by succeeds for the chosen rate.
+func (c Config) run(rng *rand.Rand, sr *samplerate.SampleRate, ft []float64, succeeds func(modem.Rate) bool) Result {
+	res := Result{RateHistogram: map[int]int{}}
+	var elapsed float64
+	for pkt := 0; pkt < c.Packets; pkt++ {
+		idx, _ := sr.Pick(rng)
+		rate := sr.Rate(idx)
+		res.RateHistogram[idx]++
+		out := c.Mac.RetryLoop(rng, ft[idx], true, func(int) bool {
+			return succeeds(rate)
+		})
+		elapsed += out.AirTime
+		sr.Update(idx, out.Success, out.AirTime)
+		if out.Success {
+			res.Delivered++
+		}
+	}
+	if elapsed > 0 {
+		res.ThroughputBps = float64(res.Delivered*c.PayloadBytes*8) / elapsed
+	}
+	return res
+}

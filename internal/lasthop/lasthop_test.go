@@ -1,0 +1,95 @@
+package lasthop
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/modem"
+	"repro/internal/testbed"
+)
+
+func testConfig(snrs []float64, packets int) Config {
+	cfg := modem.Profile80211()
+	tb := testbed.Default(cfg)
+	links := make([]testbed.Link, len(snrs))
+	for i, s := range snrs {
+		links[i] = tb.LinkAtSNR(s, 10)
+	}
+	return Config{
+		Mac:          mac.Default(cfg),
+		PayloadBytes: 1460,
+		APLinks:      links,
+		Packets:      packets,
+	}
+}
+
+func TestSingleAPThroughputScalesWithSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	weak := testConfig([]float64{6}, 300).RunSingleAP(rng, 0)
+	strong := testConfig([]float64{25}, 300).RunSingleAP(rng, 0)
+	if weak.ThroughputBps <= 0 || strong.ThroughputBps <= 0 {
+		t.Fatalf("throughputs %v %v", weak.ThroughputBps, strong.ThroughputBps)
+	}
+	if strong.ThroughputBps < 2*weak.ThroughputBps {
+		t.Fatalf("25 dB (%.1f Mbps) should be much faster than 6 dB (%.1f Mbps)",
+			strong.ThroughputBps/1e6, weak.ThroughputBps/1e6)
+	}
+	// At 25 dB the achieved rate should approach (but not exceed) the top
+	// PHY rates.
+	if strong.ThroughputBps > 54e6 {
+		t.Fatalf("throughput %.1f Mbps exceeds PHY limit", strong.ThroughputBps/1e6)
+	}
+}
+
+func TestJointBeatsSingleAtModerateSNR(t *testing.T) {
+	// Two comparable mediocre APs: joint transmission should deliver
+	// noticeably more than the best single AP (paper Fig. 17: median 1.57x).
+	rng := rand.New(rand.NewSource(2))
+	c := testConfig([]float64{9, 8}, 400)
+	single := c.RunBestSingleAP(rng)
+	joint := c.RunJoint(rng)
+	if joint.ThroughputBps <= single.ThroughputBps {
+		t.Fatalf("joint %.2f Mbps not better than single %.2f Mbps",
+			joint.ThroughputBps/1e6, single.ThroughputBps/1e6)
+	}
+}
+
+func TestJointOverheadVisibleAtHighSNR(t *testing.T) {
+	// When one AP already runs at the top rate, the joint mode's extra
+	// airtime (sync gap + CE) means it cannot be dramatically better; it
+	// must at least stay within a sane band, not collapse.
+	rng := rand.New(rand.NewSource(3))
+	c := testConfig([]float64{30, 30}, 400)
+	single := c.RunBestSingleAP(rng)
+	joint := c.RunJoint(rng)
+	ratio := joint.ThroughputBps / single.ThroughputBps
+	if ratio < 0.85 || ratio > 1.3 {
+		t.Fatalf("high-SNR joint/single ratio %.2f out of band", ratio)
+	}
+}
+
+func TestRateHistogramPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := testConfig([]float64{18}, 200)
+	res := c.RunSingleAP(rng, 0)
+	total := 0
+	for _, n := range res.RateHistogram {
+		total += n
+	}
+	if total != 200 {
+		t.Fatalf("histogram covers %d packets", total)
+	}
+	if res.Delivered < 150 {
+		t.Fatalf("only %d/200 delivered at 18 dB", res.Delivered)
+	}
+}
+
+func TestDeadLinkDeliversNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := testConfig([]float64{-10}, 50)
+	res := c.RunSingleAP(rng, 0)
+	if res.Delivered != 0 {
+		t.Fatalf("delivered %d packets over a dead link", res.Delivered)
+	}
+}

@@ -1,0 +1,42 @@
+package lp
+
+// MinimizeMaxAbs solves the min-max program
+//
+//	minimize m  subject to  |e_k + sum_j G[k][j]*w_j| <= m  for all k
+//
+// over free variables w. Each row k describes one pairwise misalignment that
+// is affine in the wait times w (offset e_k plus gains G[k]). It returns the
+// optimal w and the achieved maximum |misalignment| m.
+//
+// This is exactly the linear program SourceSync's lead sender solves to pick
+// co-sender wait times for multiple receivers (paper §4.6).
+func MinimizeMaxAbs(offsets []float64, gains [][]float64) (w []float64, m float64, err error) {
+	k := len(offsets)
+	if k == 0 {
+		return nil, 0, nil
+	}
+	n := len(gains[0])
+	// Variables: [w (n free), m (free but effectively >= 0)].
+	// Constraints per row:  G.w - m <= -e   and  -G.w - m <= e.
+	c := make([]float64, n+1)
+	c[n] = 1
+	a := make([][]float64, 0, 2*k)
+	b := make([]float64, 0, 2*k)
+	for i := 0; i < k; i++ {
+		pos := make([]float64, n+1)
+		neg := make([]float64, n+1)
+		for j := 0; j < n; j++ {
+			pos[j] = gains[i][j]
+			neg[j] = -gains[i][j]
+		}
+		pos[n] = -1
+		neg[n] = -1
+		a = append(a, pos, neg)
+		b = append(b, -offsets[i], offsets[i])
+	}
+	x, obj, err := SolveFree(c, a, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return x[:n], obj, nil
+}

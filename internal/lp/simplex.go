@@ -1,0 +1,253 @@
+// Package lp implements a small dense two-phase simplex solver for linear
+// programs of the form
+//
+//	minimize    c.x
+//	subject to  A.x <= b,  x >= 0
+//
+// plus a wrapper for free (sign-unrestricted) variables. SourceSync uses it
+// to choose co-sender wait times that minimize the maximum pairwise
+// misalignment across multiple receivers (paper §4.6); those programs are
+// tiny (a handful of variables), so clarity beats sparsity here.
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// Solver failure modes.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+)
+
+const eps = 1e-9
+
+// Solve minimizes c.x subject to A.x <= b and x >= 0. It returns the
+// optimal x and objective value.
+func Solve(c []float64, a [][]float64, b []float64) (x []float64, obj float64, err error) {
+	m := len(a)
+	n := len(c)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, 0, errors.New("lp: ragged constraint matrix")
+		}
+	}
+	if len(b) != m {
+		return nil, 0, errors.New("lp: len(b) != rows(A)")
+	}
+
+	// Convert to equalities with slack variables, normalizing to b >= 0.
+	// Columns: [x (n)] [slack (m)] [artificial (up to m)].
+	// Rows with a +1 slack and b>=0 use the slack as the initial basis;
+	// flipped rows get an artificial variable.
+	total := n + m // before artificials
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	basis := make([]int, m)
+	artCols := 0
+	for i := 0; i < m; i++ {
+		r := make([]float64, total)
+		copy(r, a[i])
+		sign := 1.0
+		bi := b[i]
+		if bi < 0 {
+			sign = -1
+			bi = -bi
+			for j := range r {
+				r[j] = -r[j]
+			}
+		}
+		r[n+i] = sign // slack coefficient after normalization
+		rows[i] = r
+		rhs[i] = bi
+		if sign > 0 {
+			basis[i] = n + i
+		} else {
+			basis[i] = -1 // needs artificial
+			artCols++
+		}
+	}
+	// Append artificial columns.
+	art0 := total
+	total += artCols
+	k := 0
+	for i := 0; i < m; i++ {
+		rows[i] = append(rows[i], make([]float64, artCols)...)
+		if basis[i] == -1 {
+			rows[i][art0+k] = 1
+			basis[i] = art0 + k
+			k++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if artCols > 0 {
+		phase1 := make([]float64, total)
+		for j := art0; j < total; j++ {
+			phase1[j] = 1
+		}
+		v, err := simplex(rows, rhs, basis, phase1)
+		if err != nil {
+			return nil, 0, err
+		}
+		if v > 1e-7 {
+			return nil, 0, ErrInfeasible
+		}
+		// Drive any artificial still in the basis out (degenerate case).
+		for i, bv := range basis {
+			if bv < art0 {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < art0; j++ {
+				if math.Abs(rows[i][j]) > eps {
+					pivot(rows, rhs, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; zero it so it never constrains.
+				for j := range rows[i] {
+					rows[i][j] = 0
+				}
+				rhs[i] = 0
+			}
+		}
+		// Remove artificial columns.
+		for i := range rows {
+			rows[i] = rows[i][:art0]
+		}
+		total = art0
+	}
+
+	// Phase 2: original objective over structural + slack columns.
+	cost := make([]float64, total)
+	copy(cost, c)
+	if _, err := simplex(rows, rhs, basis, cost); err != nil {
+		return nil, 0, err
+	}
+
+	x = make([]float64, n)
+	for i, bv := range basis {
+		if bv >= 0 && bv < n {
+			x[bv] = rhs[i]
+		}
+	}
+	obj = 0
+	for j := range c {
+		obj += c[j] * x[j]
+	}
+	return x, obj, nil
+}
+
+// simplex runs the primal simplex with Bland's rule on the given tableau in
+// place; basis identifies the basic column of each row. It returns the
+// objective value.
+func simplex(rows [][]float64, rhs []float64, basis []int, cost []float64) (float64, error) {
+	m := len(rows)
+	if m == 0 {
+		return 0, nil
+	}
+	total := len(rows[0])
+	// Reduced costs maintained implicitly: z_j - c_j computed on demand
+	// from the basis. For the tiny LPs here, recompute per iteration.
+	y := make([]float64, m) // multipliers such that reduced = cost - y.A
+	for iter := 0; iter < 10000; iter++ {
+		// Compute simplex multipliers: for each row, cost of basic var.
+		for i := range y {
+			y[i] = cost[basis[i]]
+		}
+		// Find entering column via Bland's rule: smallest index with
+		// negative reduced cost.
+		enter := -1
+		for j := 0; j < total; j++ {
+			red := cost[j]
+			for i := 0; i < m; i++ {
+				red -= y[i] * rows[i][j]
+			}
+			if red < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			obj := 0.0
+			for i := range basis {
+				obj += cost[basis[i]] * rhs[i]
+			}
+			return obj, nil
+		}
+		// Ratio test (Bland: smallest basis index breaks ties).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if rows[i][enter] > eps {
+				ratio := rhs[i] / rows[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave == -1 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, ErrUnbounded
+		}
+		pivot(rows, rhs, basis, leave, enter)
+	}
+	return 0, errors.New("lp: iteration limit exceeded")
+}
+
+// pivot makes column `col` basic in row `row`.
+func pivot(rows [][]float64, rhs []float64, basis []int, row, col int) {
+	p := rows[row][col]
+	inv := 1 / p
+	for j := range rows[row] {
+		rows[row][j] *= inv
+	}
+	rhs[row] *= inv
+	for i := range rows {
+		if i == row {
+			continue
+		}
+		f := rows[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range rows[i] {
+			rows[i][j] -= f * rows[row][j]
+		}
+		rhs[i] -= f * rhs[row]
+	}
+	basis[row] = col
+}
+
+// SolveFree minimizes c.x subject to A.x <= b with x sign-unrestricted, by
+// substituting x = u - v with u, v >= 0.
+func SolveFree(c []float64, a [][]float64, b []float64) (x []float64, obj float64, err error) {
+	n := len(c)
+	c2 := make([]float64, 2*n)
+	for j := 0; j < n; j++ {
+		c2[j] = c[j]
+		c2[n+j] = -c[j]
+	}
+	a2 := make([][]float64, len(a))
+	for i := range a {
+		row := make([]float64, 2*n)
+		for j := 0; j < n; j++ {
+			row[j] = a[i][j]
+			row[n+j] = -a[i][j]
+		}
+		a2[i] = row
+	}
+	z, obj, err := Solve(c2, a2, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	x = make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = z[j] - z[n+j]
+	}
+	return x, obj, nil
+}

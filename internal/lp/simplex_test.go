@@ -1,0 +1,195 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveTextbook(t *testing.T) {
+	// maximize 3x+5y s.t. x<=4, 2y<=12, 3x+2y<=18 => min -3x-5y; optimum
+	// (2,6) value -36.
+	c := []float64{-3, -5}
+	a := [][]float64{{1, 0}, {0, 2}, {3, 2}}
+	b := []float64{4, 12, 18}
+	x, obj, err := Solve(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj+36) > 1e-6 || math.Abs(x[0]-2) > 1e-6 || math.Abs(x[1]-6) > 1e-6 {
+		t.Fatalf("x=%v obj=%g", x, obj)
+	}
+}
+
+func TestSolveNegativeRHSNeedsPhase1(t *testing.T) {
+	// min x s.t. -x <= -5 (i.e. x >= 5): optimum x=5.
+	x, obj, err := Solve([]float64{1}, [][]float64{{-1}}, []float64{-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-5) > 1e-6 || math.Abs(obj-5) > 1e-6 {
+		t.Fatalf("x=%v obj=%g", x, obj)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x <= 1 and x >= 3.
+	_, _, err := Solve([]float64{1}, [][]float64{{1}, {-1}}, []float64{1, -3})
+	if err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min -x s.t. -x <= 0: x can grow without bound.
+	_, _, err := Solve([]float64{-1}, [][]float64{{-1}}, []float64{0})
+	if err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Redundant constraints sharing a vertex must not cycle (Bland's rule).
+	c := []float64{-1, -1}
+	a := [][]float64{{1, 0}, {1, 0}, {0, 1}, {1, 1}}
+	b := []float64{1, 1, 1, 2}
+	x, obj, err := Solve(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj+2) > 1e-6 {
+		t.Fatalf("x=%v obj=%g", x, obj)
+	}
+}
+
+func TestSolveFreeVariables(t *testing.T) {
+	// min x s.t. x <= -3 with free x: optimum -inf? No: minimize x means it
+	// is unbounded below; instead minimize -x: max x, bounded by -3.
+	x, obj, err := SolveFree([]float64{-1}, [][]float64{{1}}, []float64{-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]+3) > 1e-6 || math.Abs(obj-3) > 1e-6 {
+		t.Fatalf("x=%v obj=%g", x, obj)
+	}
+}
+
+func TestSolutionFeasibleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(3)
+		m := 2 + r.Intn(5)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = r.Float64() // nonnegative cost + x>=0 => bounded
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = r.NormFloat64()
+			}
+			b[i] = r.Float64() * 5 // nonnegative: x=0 feasible
+		}
+		x, _, err := Solve(c, a, b)
+		if err != nil {
+			return false
+		}
+		for j := range x {
+			if x[j] < -1e-7 {
+				return false
+			}
+		}
+		for i := range a {
+			dot := 0.0
+			for j := range x {
+				dot += a[i][j] * x[j]
+			}
+			if dot > b[i]+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizeMaxAbsSingleReceiver(t *testing.T) {
+	// One co-sender, one receiver: misalignment e + w; optimal w = -e, m=0.
+	w, m, err := MinimizeMaxAbs([]float64{4.2}, [][]float64{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]+4.2) > 1e-6 || m > 1e-6 {
+		t.Fatalf("w=%v m=%g", w, m)
+	}
+}
+
+func TestMinimizeMaxAbsTwoReceiversConflict(t *testing.T) {
+	// Paper Fig. 8: the same w cannot zero both receivers. Misalignments
+	// w+3 (rx1) and w-5 (rx2): optimum w=1, m=4.
+	w, m, err := MinimizeMaxAbs([]float64{3, -5}, [][]float64{{1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-1) > 1e-6 || math.Abs(m-4) > 1e-6 {
+		t.Fatalf("w=%v m=%g", w, m)
+	}
+}
+
+func TestMinimizeMaxAbsMatchesGridSearch(t *testing.T) {
+	// Two co-senders, several receivers, including pairwise co-sender
+	// misalignment rows; compare against brute-force grid search.
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		var offsets []float64
+		var gains [][]float64
+		nrx := 2 + r.Intn(2)
+		for k := 0; k < nrx; k++ {
+			// co-sender i vs lead at rx k: w_i + e.
+			offsets = append(offsets, r.NormFloat64()*5, r.NormFloat64()*5)
+			gains = append(gains, []float64{1, 0}, []float64{0, 1})
+			// co-sender 1 vs co-sender 2 at rx k: w1 - w2 + e.
+			offsets = append(offsets, r.NormFloat64()*5)
+			gains = append(gains, []float64{1, -1})
+		}
+		w, m, err := MinimizeMaxAbs(offsets, gains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Grid search over [-15,15]^2 at 0.05 resolution.
+		best := math.Inf(1)
+		for w1 := -15.0; w1 <= 15; w1 += 0.05 {
+			for w2 := -15.0; w2 <= 15; w2 += 0.05 {
+				worst := 0.0
+				for i := range offsets {
+					v := math.Abs(offsets[i] + gains[i][0]*w1 + gains[i][1]*w2)
+					if v > worst {
+						worst = v
+					}
+				}
+				if worst < best {
+					best = worst
+				}
+			}
+		}
+		if m > best+0.05 {
+			t.Fatalf("trial %d: LP m=%.4f worse than grid %.4f (w=%v)", trial, m, best, w)
+		}
+		// And the returned w must achieve m.
+		worst := 0.0
+		for i := range offsets {
+			v := math.Abs(offsets[i] + gains[i][0]*w[0] + gains[i][1]*w[1])
+			if v > worst {
+				worst = v
+			}
+		}
+		if worst > m+1e-6 {
+			t.Fatalf("trial %d: w does not achieve m: %.4f > %.4f", trial, worst, m)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package mac models 802.11 DCF medium access at the packet level: frame
+// airtimes (from the modem's symbol accounting), SIFS/DIFS/backoff timing,
+// acknowledgments and the retransmission loop. The throughput experiments
+// charge every scheme (single path, ExOR, SourceSync) through this model so
+// comparisons are apples to apples.
+package mac
+
+import (
+	"math/rand"
+
+	"repro/internal/modem"
+	"repro/internal/phy"
+)
+
+// Params carries the DCF timing configuration.
+type Params struct {
+	Cfg        *modem.Config
+	SlotTime   float64 // seconds (9 us in 802.11g OFDM)
+	SIFS       float64 // seconds (10 us)
+	CWMin      int     // minimum contention window (15)
+	CWMax      int     // maximum contention window (1023)
+	AckBytes   int     // ACK frame body size
+	AckRate    modem.Rate
+	RetryLimit int // attempts per packet before giving up
+}
+
+// Default returns 802.11g-like DCF parameters for the given PHY config.
+func Default(cfg *modem.Config) Params {
+	return Params{
+		Cfg:        cfg,
+		SlotTime:   9e-6,
+		SIFS:       10e-6,
+		CWMin:      15,
+		CWMax:      1023,
+		AckBytes:   14,
+		AckRate:    modem.Rate{Mod: modem.BPSK, Code: modem.Rate12},
+		RetryLimit: 7,
+	}
+}
+
+// DIFS returns the distributed interframe space: SIFS + 2 slots.
+func (p Params) DIFS() float64 { return p.SIFS + 2*p.SlotTime }
+
+// FrameDuration returns the airtime of a single-sender data frame.
+func (p Params) FrameDuration(rate modem.Rate, payloadBytes int) float64 {
+	fp := modem.FrameParams{
+		Cfg: p.Cfg, Rate: rate, CP: p.Cfg.CPLen,
+		PayloadLen: payloadBytes, ScramblerSeed: 1,
+	}
+	return float64(fp.AirtimeSamples()) / p.Cfg.SampleRateHz
+}
+
+// JointFrameDuration returns the airtime of a SourceSync joint frame,
+// including the sync header, SIFS gap, CE slots and any CP increase.
+func (p Params) JointFrameDuration(rate modem.Rate, payloadBytes, numCo, dataCP int) float64 {
+	jp := phy.JointFrameParams{
+		Cfg: p.Cfg, Rate: rate, DataCP: dataCP,
+		PayloadLen: payloadBytes, Seed: 1, NumCo: numCo,
+	}
+	return jp.AirtimeSeconds()
+}
+
+// AckDuration returns the airtime of an ACK frame.
+func (p Params) AckDuration() float64 {
+	return p.FrameDuration(p.AckRate, p.AckBytes)
+}
+
+// Backoff draws the random backoff duration for the given retry attempt
+// (0-based); the contention window doubles per retry up to CWMax.
+func (p Params) Backoff(attempt int, rng *rand.Rand) float64 {
+	cw := p.CWMin
+	for i := 0; i < attempt; i++ {
+		cw = cw*2 + 1
+		if cw > p.CWMax {
+			cw = p.CWMax
+			break
+		}
+	}
+	return float64(rng.Intn(cw+1)) * p.SlotTime
+}
+
+// AttemptOverhead returns the channel-access cost of one transmission
+// attempt excluding the data frame itself: DIFS + drawn backoff, plus
+// SIFS + ACK when acknowledged.
+func (p Params) AttemptOverhead(attempt int, acked bool, rng *rand.Rand) float64 {
+	t := p.DIFS() + p.Backoff(attempt, rng)
+	if acked {
+		t += p.SIFS + p.AckDuration()
+	}
+	return t
+}
+
+// TxOutcome summarizes a retransmission loop.
+type TxOutcome struct {
+	Success  bool
+	Attempts int
+	AirTime  float64 // total medium time consumed, seconds
+}
+
+// RetryLoop transmits a frame of the given duration until `succeeds`
+// returns true or the retry limit is exhausted. succeeds is called once per
+// attempt (callers evaluate channel/PER randomness inside it). acked
+// controls whether successful attempts are charged for an ACK exchange.
+func (p Params) RetryLoop(rng *rand.Rand, frameTime float64, acked bool, succeeds func(attempt int) bool) TxOutcome {
+	var out TxOutcome
+	for attempt := 0; attempt < p.RetryLimit; attempt++ {
+		out.Attempts++
+		ok := succeeds(attempt)
+		out.AirTime += p.DIFS() + p.Backoff(attempt, rng) + frameTime
+		if ok {
+			if acked {
+				out.AirTime += p.SIFS + p.AckDuration()
+			}
+			out.Success = true
+			return out
+		}
+		// A failed attempt still waits out the ACK timeout.
+		if acked {
+			out.AirTime += p.SIFS + p.AckDuration()
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package mac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/modem"
+)
+
+func TestFrameDurationKnownValue(t *testing.T) {
+	p := Default(modem.Profile80211())
+	r6, _ := modem.RateByMbps(6)
+	// 1460+4 bytes + 6 tail bits at 24 data bits/symbol: 489 symbols of
+	// 4 us after the 16 us training preamble.
+	d := p.FrameDuration(r6, 1460)
+	want := float64(p.Cfg.PreambleLen())/p.Cfg.SampleRateHz + math.Ceil((1464*8+6)/24.0)*4e-6
+	if math.Abs(d-want) > 1e-9 {
+		t.Fatalf("duration %g, want %g", d, want)
+	}
+	// Faster rate, shorter frame.
+	r54, _ := modem.RateByMbps(54)
+	if p.FrameDuration(r54, 1460) >= d {
+		t.Fatal("54 Mbps frame should be shorter than 6 Mbps")
+	}
+}
+
+func TestJointFrameDurationIncludesOverhead(t *testing.T) {
+	p := Default(modem.Profile80211())
+	r12, _ := modem.RateByMbps(12)
+	single := p.FrameDuration(r12, 1460)
+	joint := p.JointFrameDuration(r12, 1460, 1, p.Cfg.CPLen)
+	if joint <= single {
+		t.Fatal("joint frame must cost more airtime than a bare frame")
+	}
+	// And the overhead is small (paper: ~1.7% + header).
+	if (joint-single)/joint > 0.08 {
+		t.Fatalf("joint overhead fraction %.3f too large", (joint-single)/joint)
+	}
+	// CP increase lengthens the frame.
+	longer := p.JointFrameDuration(r12, 1460, 1, p.Cfg.CPLen+4)
+	if longer <= joint {
+		t.Fatal("CP increase must lengthen the frame")
+	}
+}
+
+func TestBackoffDoubling(t *testing.T) {
+	p := Default(modem.Profile80211())
+	rng := rand.New(rand.NewSource(1))
+	avg := func(attempt int) float64 {
+		var s float64
+		for i := 0; i < 4000; i++ {
+			s += p.Backoff(attempt, rng)
+		}
+		return s / 4000
+	}
+	a0, a2 := avg(0), avg(2)
+	// Expected: CW 15 -> mean 7.5 slots; CW 63 -> mean 31.5 slots.
+	if math.Abs(a0-7.5*p.SlotTime) > p.SlotTime {
+		t.Fatalf("attempt0 mean backoff %g", a0)
+	}
+	if math.Abs(a2-31.5*p.SlotTime) > 2*p.SlotTime {
+		t.Fatalf("attempt2 mean backoff %g", a2)
+	}
+	// CW saturates at CWMax.
+	big := avg(12)
+	if big > (float64(p.CWMax)/2+40)*p.SlotTime {
+		t.Fatalf("saturated backoff %g too large", big)
+	}
+}
+
+func TestRetryLoopStatistics(t *testing.T) {
+	p := Default(modem.Profile80211())
+	rng := rand.New(rand.NewSource(2))
+	r6, _ := modem.RateByMbps(6)
+	ft := p.FrameDuration(r6, 500)
+
+	// 50% loss: expected ~2 attempts, near-certain eventual success.
+	var attempts, successes int
+	const n = 2000
+	for i := 0; i < n; i++ {
+		out := p.RetryLoop(rng, ft, true, func(int) bool { return rng.Float64() < 0.5 })
+		attempts += out.Attempts
+		if out.Success {
+			successes++
+		}
+	}
+	if successes < n*98/100 {
+		t.Fatalf("successes %d/%d", successes, n)
+	}
+	mean := float64(attempts) / float64(successes)
+	if mean < 1.8 || mean > 2.2 {
+		t.Fatalf("mean attempts %.2f, want ~2", mean)
+	}
+
+	// Dead link: retry limit reached, no success.
+	out := p.RetryLoop(rng, ft, true, func(int) bool { return false })
+	if out.Success || out.Attempts != p.RetryLimit {
+		t.Fatalf("dead link outcome %+v", out)
+	}
+	if out.AirTime < float64(p.RetryLimit)*ft {
+		t.Fatal("airtime must include every attempt")
+	}
+}
+
+func TestDIFS(t *testing.T) {
+	p := Default(modem.Profile80211())
+	if got := p.DIFS(); math.Abs(got-28e-6) > 1e-12 {
+		t.Fatalf("DIFS %g", got)
+	}
+}

@@ -1,0 +1,73 @@
+package modem
+
+import "hash/crc32"
+
+// BytesToBits expands bytes into bits, least-significant bit first within
+// each byte (the 802.11 transmission order).
+func BytesToBits(data []byte) []byte {
+	out := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for i := 0; i < 8; i++ {
+			out = append(out, b>>uint(i)&1)
+		}
+	}
+	return out
+}
+
+// BitsToBytes packs bits (LSB first) into bytes; len(bits) must be a
+// multiple of 8.
+func BitsToBytes(bits []byte) []byte {
+	if len(bits)%8 != 0 {
+		panic("modem: BitsToBytes needs a multiple of 8 bits")
+	}
+	out := make([]byte, len(bits)/8)
+	for i, b := range bits {
+		if b&1 == 1 {
+			out[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return out
+}
+
+// AppendCRC32 appends the IEEE CRC-32 of data (4 bytes, little endian) and
+// returns the extended slice. CheckCRC32 verifies and strips it.
+func AppendCRC32(data []byte) []byte {
+	c := crc32.ChecksumIEEE(data)
+	return append(data, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+}
+
+// CheckCRC32 verifies a trailing CRC-32 and returns the payload without it.
+// ok is false if the frame is shorter than 4 bytes or the checksum fails.
+func CheckCRC32(frame []byte) (payload []byte, ok bool) {
+	if len(frame) < 4 {
+		return nil, false
+	}
+	n := len(frame) - 4
+	want := uint32(frame[n]) | uint32(frame[n+1])<<8 | uint32(frame[n+2])<<16 | uint32(frame[n+3])<<24
+	if crc32.ChecksumIEEE(frame[:n]) != want {
+		return nil, false
+	}
+	return frame[:n], true
+}
+
+// CountBitErrors returns the number of differing bit positions between a and
+// b, comparing up to the shorter length, plus the length difference in bits.
+func CountBitErrors(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	errs := 0
+	for i := 0; i < n; i++ {
+		if a[i]&1 != b[i]&1 {
+			errs++
+		}
+	}
+	if len(a) > n {
+		errs += len(a) - n
+	}
+	if len(b) > n {
+		errs += len(b) - n
+	}
+	return errs
+}

@@ -1,0 +1,132 @@
+package modem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroPayloadFrame(t *testing.T) {
+	// A frame whose payload is empty still carries the CRC and decodes.
+	r := rand.New(rand.NewSource(1))
+	cfg := Profile80211()
+	p := testParams(cfg, 6, 0)
+	wave := BuildFrame(p, nil)
+	x := padded(r, wave, 300, 300, -35)
+	rx := &Receiver{Cfg: cfg, FFTBackoff: 3}
+	got, ok, _, err := rx.Receive(p, x, 0)
+	if err != nil || !ok || len(got) != 0 {
+		t.Fatalf("zero payload decode: ok=%v err=%v len=%d", ok, err, len(got))
+	}
+}
+
+func TestSymbolMultiplePadding(t *testing.T) {
+	// SymbolMultiple pads the symbol count and the round trip still works.
+	r := rand.New(rand.NewSource(2))
+	cfg := Profile80211()
+	for _, mult := range []int{2, 4} {
+		p := testParams(cfg, 12, 97) // odd size to force padding
+		p.SymbolMultiple = mult
+		if n := p.NumDataSymbols(); n%mult != 0 {
+			t.Fatalf("mult %d: %d symbols", mult, n)
+		}
+		payload := make([]byte, p.PayloadLen)
+		r.Read(payload)
+		wave := BuildFrame(p, payload)
+		x := padded(r, wave, 200, 200, -35)
+		rx := &Receiver{Cfg: cfg, FFTBackoff: 3}
+		got, ok, _, err := rx.Receive(p, x, 0)
+		if err != nil || !ok || string(got) != string(payload) {
+			t.Fatalf("mult %d: decode failed", mult)
+		}
+	}
+}
+
+func TestReceiveSecondPacketInStream(t *testing.T) {
+	// Detection honors the `from` parameter: with two frames back to back,
+	// searching after the first finds the second.
+	r := rand.New(rand.NewSource(3))
+	cfg := Profile80211()
+	p := testParams(cfg, 6, 30)
+	pay1 := make([]byte, 30)
+	pay2 := make([]byte, 30)
+	r.Read(pay1)
+	r.Read(pay2)
+	w1 := BuildFrame(p, pay1)
+	w2 := BuildFrame(p, pay2)
+	gap := make([]complex128, 400)
+	x := padded(r, append(append(append([]complex128{}, w1...), gap...), w2...), 300, 300, -35)
+	rx := &Receiver{Cfg: cfg, FFTBackoff: 3}
+	got1, ok1, diag1, err1 := rx.Receive(p, x, 0)
+	if err1 != nil || !ok1 || string(got1) != string(pay1) {
+		t.Fatal("first packet failed")
+	}
+	from := diag1.Detect.FineIdx + p.AirtimeSamples()
+	got2, ok2, _, err2 := rx.Receive(p, x, from)
+	if err2 != nil || !ok2 || string(got2) != string(pay2) {
+		t.Fatalf("second packet failed: ok=%v err=%v", ok2, err2)
+	}
+}
+
+func TestReceiveTruncatedStream(t *testing.T) {
+	// A stream that ends mid-frame returns ErrNoPacket rather than panics.
+	r := rand.New(rand.NewSource(4))
+	cfg := Profile80211()
+	p := testParams(cfg, 6, 200)
+	payload := make([]byte, 200)
+	r.Read(payload)
+	wave := BuildFrame(p, payload)
+	x := padded(r, wave[:len(wave)/3], 300, 0, -35)
+	rx := &Receiver{Cfg: cfg, FFTBackoff: 3}
+	if _, ok, _, err := rx.Receive(p, x, 0); err == nil && ok {
+		t.Fatal("truncated frame should not decode")
+	}
+}
+
+func TestConfigPanicsOnBadParameters(t *testing.T) {
+	for name, build := range map[string]func(){
+		"non-power-of-two NFFT": func() {
+			c := &Config{SampleRateHz: 1, NFFT: 48, CPLen: 4, UsedHalf: 10}
+			c.build()
+		},
+		"used exceeds half band": func() {
+			c := &Config{SampleRateHz: 1, NFFT: 64, CPLen: 4, UsedHalf: 40}
+			c.build()
+		},
+		"pilot outside band": func() {
+			c := &Config{SampleRateHz: 1, NFFT: 64, CPLen: 4, UsedHalf: 10, Pilots: []int{20}}
+			c.build()
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			build()
+		}()
+	}
+}
+
+func TestEncodeDecodeBitsPropertyAllRates(t *testing.T) {
+	// Property: for any payload and standard rate, the symbol-level encode
+	// then hard decode round-trips exactly on a perfect channel.
+	cfg := Profile80211()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rate := StandardRates()[r.Intn(8)]
+		p := FrameParams{
+			Cfg: cfg, Rate: rate, CP: cfg.CPLen,
+			PayloadLen: 1 + r.Intn(80), ScramblerSeed: byte(1 + r.Intn(127)),
+		}
+		payload := make([]byte, p.PayloadLen)
+		r.Read(payload)
+		syms := p.EncodePayloadSymbols(payload)
+		got, ok := p.DecodeSymbolsToPayload(syms)
+		return ok && string(got) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package modem
+
+import (
+	"errors"
+
+	"repro/internal/dsp"
+)
+
+// Receiver decodes single-sender frames from a baseband sample stream. The
+// SourceSync joint receiver (internal/phy) reuses its building blocks but
+// runs its own joint channel estimation.
+type Receiver struct {
+	Cfg *Config
+	Det DetectorOptions
+	// FFTBackoff shifts every FFT window this many samples early (into the
+	// cyclic prefix) to protect against late timing estimates at the cost
+	// of CP budget. Typical: 2-4 samples.
+	FFTBackoff int
+	// SoftDecision feeds per-bit confidences (max-log LLRs scaled by the
+	// measured EVM) to the Viterbi decoder instead of hard decisions.
+	SoftDecision bool
+}
+
+// RxDiag carries per-frame receiver diagnostics used by experiments.
+type RxDiag struct {
+	Detect    DetectResult
+	CFO       float64      // estimated carrier offset, cycles/sample
+	H         []complex128 // channel estimate by FFT bin
+	EVM       float64      // rms error vector magnitude over data symbols
+	SymPhases []float64    // tracked common phase per data symbol
+}
+
+// ErrNoPacket is returned when no preamble is found in the stream.
+var ErrNoPacket = errors.New("modem: no packet detected")
+
+// Receive locates, equalizes and decodes one frame with parameters p from
+// stream x starting at index from. It returns the recovered payload, whether
+// the CRC passed and diagnostics. A detection failure returns ErrNoPacket.
+func (r *Receiver) Receive(p FrameParams, x []complex128, from int) (payload []byte, ok bool, diag RxDiag, err error) {
+	cfg := r.Cfg
+	det := DetectPacket(cfg, x, from, r.Det)
+	diag.Detect = det
+	if !det.Detected {
+		return nil, false, diag, ErrNoPacket
+	}
+	start := det.FineIdx
+
+	// CFO estimation and correction over a private copy of the frame span.
+	span := p.AirtimeSamples() + cfg.NFFT
+	if start < 0 || start+span > len(x) {
+		if start+span > len(x) {
+			span = len(x) - start
+		}
+		if span <= cfg.PreambleLen() {
+			return nil, false, diag, ErrNoPacket
+		}
+	}
+	buf := append([]complex128(nil), x[start:start+span]...)
+	// Two-stage CFO correction: the STS-based coarse estimate has wide
+	// range but low precision; the LTS-based estimate is precise but
+	// aliases beyond +-1/(2*NFFT), so it refines the residual only.
+	CorrectCFO(buf, det.CoarseCFO, 0)
+	residual := EstimateCFO(cfg, buf, 0)
+	CorrectCFO(buf, residual, 0)
+	diag.CFO = det.CoarseCFO + residual
+
+	// Channel estimation from the two LTS repetitions, with FFT backoff.
+	lts1 := cfg.LTSOffset() - r.FFTBackoff
+	if lts1 < 0 || lts1+2*cfg.NFFT > len(buf) {
+		return nil, false, diag, ErrNoPacket
+	}
+	h := cfg.EstimateChannelLTS(buf[lts1:lts1+cfg.NFFT], buf[lts1+cfg.NFFT:lts1+2*cfg.NFFT])
+	diag.H = h
+
+	// Data symbols.
+	nsym := p.NumDataSymbols()
+	symLen := p.CP + cfg.NFFT
+	syms := make([][]complex128, 0, nsym)
+	var evmAcc float64
+	var evmN int
+	for s := 0; s < nsym; s++ {
+		symStart := cfg.PreambleLen() + s*symLen + p.CP - r.FFTBackoff
+		if symStart < 0 || symStart+cfg.NFFT > len(buf) {
+			return nil, false, diag, ErrNoPacket
+		}
+		bins := cfg.SymbolBins(buf[symStart:])
+		// The backoff shifts every window equally, including the LTS used
+		// for H, so no extra phase ramp correction is needed here.
+		phase, _ := cfg.PilotPhase(bins, h, s)
+		diag.SymPhases = append(diag.SymPhases, phase)
+		eq := cfg.EqualizeData(bins, h, phase)
+		syms = append(syms, eq)
+		for _, v := range eq {
+			// Distance to the nearest constellation point of this rate.
+			bits := p.Rate.Mod.Demap(v, nil)
+			ideal := p.Rate.Mod.Map(bits)
+			d := v - ideal
+			evmAcc += real(d)*real(d) + imag(d)*imag(d)
+			evmN++
+		}
+	}
+	if evmN > 0 {
+		evmAcc /= float64(evmN)
+	}
+	diag.EVM = evmAcc
+
+	if r.SoftDecision {
+		payload, ok = p.DecodeSymbolsToPayloadSoft(syms, diag.EVM)
+	} else {
+		payload, ok = p.DecodeSymbolsToPayload(syms)
+	}
+	return payload, ok, diag, nil
+}
+
+// MeasureSubcarrierSNR estimates per-used-bin SNR (linear) by comparing
+// equalized LTS bins against their known values: signal power over error
+// power, computed from the two LTS repetitions' difference (noise) and mean
+// (signal+channel). Returns a map from signed subcarrier index to SNR.
+func MeasureSubcarrierSNR(cfg *Config, x []complex128, preambleStart int) map[int]float64 {
+	lts1 := preambleStart + cfg.LTSOffset()
+	if lts1 < 0 || lts1+2*cfg.NFFT > len(x) {
+		return nil
+	}
+	b1 := cfg.SymbolBins(x[lts1 : lts1+cfg.NFFT])
+	b2 := cfg.SymbolBins(x[lts1+cfg.NFFT : lts1+2*cfg.NFFT])
+	used := cfg.UsedBins()
+	// The noise is white, so estimate a single variance across all bins
+	// (from the difference of the two LTS repetitions); a per-bin noise
+	// estimate would make the SNR ratio heavy-tailed.
+	var noise float64
+	sig := make(map[int]float64, len(used))
+	for _, k := range used {
+		b := cfg.Bin(k)
+		sum := b1[b] + b2[b]
+		diff := b1[b] - b2[b]
+		sig[k] = (real(sum)*real(sum) + imag(sum)*imag(sum)) / 4
+		noise += (real(diff)*real(diff) + imag(diff)*imag(diff)) / 2
+	}
+	noise /= float64(len(used))
+	if noise <= 0 {
+		noise = 1e-12
+	}
+	out := make(map[int]float64, len(used))
+	for _, k := range used {
+		s := sig[k] - noise/2 // remove the noise bias from the signal term
+		if s < 0 {
+			s = 0
+		}
+		out[k] = s / noise
+	}
+	return out
+}
+
+// AverageSNRdB reduces a per-subcarrier SNR map to its average in dB.
+func AverageSNRdB(snr map[int]float64) float64 {
+	if len(snr) == 0 {
+		return dsp.DB(0)
+	}
+	var lin float64
+	for _, v := range snr {
+		lin += v
+	}
+	return dsp.DB(lin / float64(len(snr)))
+}

@@ -1,0 +1,108 @@
+package modem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDemapSoftHardLimitMatchesDemap(t *testing.T) {
+	// With noiseVar = 0 the soft demapper must slice exactly like the hard
+	// demapper, for random noisy points.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+			sym := complex(r.NormFloat64(), r.NormFloat64())
+			hard := m.Demap(sym, nil)
+			soft := m.DemapSoft(sym, 0, nil)
+			if len(soft) != len(hard) {
+				return false
+			}
+			for i := range hard {
+				got := byte(0)
+				if soft[i] > 0.5 {
+					got = 1
+				}
+				if got != hard[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemapSoftConfidenceScalesWithDistance(t *testing.T) {
+	// A point exactly on a constellation symbol yields near-certain bits; a
+	// point midway between two symbols yields ~0.5 on the bit where they
+	// differ.
+	m := BPSK
+	sure := m.DemapSoft(complex(1, 0), 0.1, nil)
+	if sure[0] < 0.99 {
+		t.Fatalf("on-symbol confidence %.3f", sure[0])
+	}
+	mid := m.DemapSoft(complex(0, 0), 0.1, nil)
+	if mid[0] < 0.45 || mid[0] > 0.55 {
+		t.Fatalf("midpoint confidence %.3f, want ~0.5", mid[0])
+	}
+	// Higher noise variance softens the same observation.
+	lowNoise := m.DemapSoft(complex(0.3, 0), 0.01, nil)
+	highNoise := m.DemapSoft(complex(0.3, 0), 1.0, nil)
+	if !(lowNoise[0] > highNoise[0] && highNoise[0] > 0.5) {
+		t.Fatalf("confidences %.3f (low noise) vs %.3f (high noise)", lowNoise[0], highNoise[0])
+	}
+}
+
+func TestSoftDecisionRoundTripClean(t *testing.T) {
+	// Soft decoding must also pass clean frames, for every rate.
+	r := rand.New(rand.NewSource(1))
+	cfg := Profile80211()
+	for _, mbps := range []int{6, 24, 54} {
+		p := testParams(cfg, mbps, 150)
+		payload := make([]byte, p.PayloadLen)
+		r.Read(payload)
+		wave := BuildFrame(p, payload)
+		x := padded(r, wave, 300, 300, -40)
+		rx := &Receiver{Cfg: cfg, FFTBackoff: 3, SoftDecision: true}
+		got, ok, _, err := rx.Receive(p, x, 0)
+		if err != nil || !ok || string(got) != string(payload) {
+			t.Fatalf("%d Mbps soft decode failed (ok=%v err=%v)", mbps, ok, err)
+		}
+	}
+}
+
+func TestSoftBeatsHardNearWaterfall(t *testing.T) {
+	// At an SNR where hard decisions fail a sizeable fraction of frames,
+	// soft decisions must succeed strictly more often.
+	r := rand.New(rand.NewSource(2))
+	cfg := Profile80211()
+	p := testParams(cfg, 12, 300)
+	payload := make([]byte, p.PayloadLen)
+	r.Read(payload)
+	wave := BuildFrame(p, payload)
+
+	const snr = 7.0
+	const trials = 40
+	hardOK, softOK := 0, 0
+	for i := 0; i < trials; i++ {
+		noisy := addAWGN(r, wave, snr)
+		x := padded(r, noisy, 300, 300, -snr)
+		hardRx := &Receiver{Cfg: cfg, FFTBackoff: 3}
+		if _, ok, _, err := hardRx.Receive(p, x, 0); err == nil && ok {
+			hardOK++
+		}
+		softRx := &Receiver{Cfg: cfg, FFTBackoff: 3, SoftDecision: true}
+		if _, ok, _, err := softRx.Receive(p, x, 0); err == nil && ok {
+			softOK++
+		}
+	}
+	if softOK <= hardOK {
+		t.Fatalf("soft %d/%d not better than hard %d/%d", softOK, trials, hardOK, trials)
+	}
+	if hardOK == trials {
+		t.Fatal("test operating point too easy: hard decisions never failed")
+	}
+}

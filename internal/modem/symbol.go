@@ -1,0 +1,124 @@
+package modem
+
+import (
+	"math/cmplx"
+
+	"repro/internal/dsp"
+)
+
+// pilotPolarity is the 127-element pseudorandom pilot polarity sequence
+// (+1/-1), generated once from the 802.11 scrambler with the all-ones seed.
+var pilotPolarity = buildPilotPolarity()
+
+func buildPilotPolarity() []float64 {
+	s := NewScrambler(0x7f)
+	out := make([]float64, 127)
+	for i := range out {
+		if s.Next() == 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// PilotValue returns the reference value of pilot bin index p (position in
+// PilotBins()) during data symbol symIdx.
+func (c *Config) PilotValue(p, symIdx int) complex128 {
+	pol := pilotPolarity[symIdx%len(pilotPolarity)]
+	return complex(pol, 0)
+}
+
+// AssembleSymbol builds one time-domain OFDM symbol (with cyclic prefix cp)
+// from NumData constellation points. symIdx selects the pilot polarity.
+func (c *Config) AssembleSymbol(data []complex128, symIdx, cp int) []complex128 {
+	return c.AssembleSymbolPilots(data, symIdx, cp, true)
+}
+
+// AssembleSymbolPilots is AssembleSymbol with explicit control over pilot
+// transmission. SourceSync senders leave the pilot bins silent in symbols
+// they do not own (paper §5's shared pilots).
+func (c *Config) AssembleSymbolPilots(data []complex128, symIdx, cp int, withPilots bool) []complex128 {
+	if len(data) != c.NumData() {
+		panic("modem: AssembleSymbol wrong number of data points")
+	}
+	bins := make([]complex128, c.NFFT)
+	for i, k := range c.dataBins {
+		bins[c.Bin(k)] = data[i]
+	}
+	if withPilots {
+		for p, k := range c.pilotBins {
+			bins[c.Bin(k)] = c.PilotValue(p, symIdx)
+		}
+	}
+	t := dsp.IFFT(bins)
+	out := make([]complex128, cp+c.NFFT)
+	copy(out, t[c.NFFT-cp:])
+	copy(out[cp:], t)
+	return out
+}
+
+// SymbolBins runs an FFT over the NFFT samples starting at the beginning of
+// the useful (post-CP) part of a received symbol.
+func (c *Config) SymbolBins(samples []complex128) []complex128 {
+	if len(samples) < c.NFFT {
+		panic("modem: SymbolBins needs NFFT samples")
+	}
+	return dsp.FFT(samples[:c.NFFT])
+}
+
+// PilotPhase estimates the common phase error of a received symbol's bins
+// relative to channel estimate H (indexed by FFT bin), using the pilot bins
+// of symbol symIdx. It also returns the mean pilot amplitude ratio, a cheap
+// per-symbol gain-tracking aid.
+func (c *Config) PilotPhase(bins, h []complex128, symIdx int) (phase float64, gain float64) {
+	var acc complex128
+	var num, den float64
+	for p, k := range c.pilotBins {
+		b := c.Bin(k)
+		ref := h[b] * c.PilotValue(p, symIdx)
+		acc += bins[b] * cmplx.Conj(ref)
+		num += cmplx.Abs(bins[b])
+		den += cmplx.Abs(ref)
+	}
+	if den == 0 {
+		return 0, 1
+	}
+	return cmplx.Phase(acc), num / den
+}
+
+// EqualizeData corrects a received symbol's bins by the common phase error
+// and the channel, returning the NumData equalized constellation points.
+func (c *Config) EqualizeData(bins, h []complex128, phase float64) []complex128 {
+	rot := cmplx.Exp(complex(0, -phase))
+	out := make([]complex128, len(c.dataBins))
+	for i, k := range c.dataBins {
+		b := c.Bin(k)
+		hv := h[b]
+		if hv == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = bins[b] * rot / hv
+	}
+	return out
+}
+
+// EstimateChannelLTS estimates the per-bin channel from two received LTS
+// symbols (each NFFT samples, CP already skipped). Averaging the two halves
+// suppresses noise by 3 dB.
+func (c *Config) EstimateChannelLTS(lts1, lts2 []complex128) []complex128 {
+	b1 := c.SymbolBins(lts1)
+	b2 := c.SymbolBins(lts2)
+	h := make([]complex128, c.NFFT)
+	for _, k := range c.UsedBins() {
+		b := c.Bin(k)
+		ref := c.ltsF[b]
+		if ref == 0 {
+			continue
+		}
+		h[b] = (b1[b] + b2[b]) / (2 * ref)
+	}
+	return h
+}

@@ -1,0 +1,139 @@
+package modem
+
+import "math"
+
+// viterbiTables holds the precomputed trellis structure for the 802.11
+// convolutional code: for each state and input bit, the two mother-code
+// output bits and the successor state.
+//
+// A state is the most recent 6 input bits with the newest bit in position 5:
+// from state s with input `in`, the encoder register is full = s | in<<6 and
+// the next state is full>>1. Consequently the top bit (bit 5) of any state
+// is the input bit that created it, and its two possible predecessors are
+// (s&31)<<1 and (s&31)<<1|1.
+type viterbiTables struct {
+	next [convStates][2]int
+	outA [convStates][2]byte
+	outB [convStates][2]byte
+}
+
+var vt = buildViterbiTables()
+
+func buildViterbiTables() *viterbiTables {
+	t := &viterbiTables{}
+	for s := 0; s < convStates; s++ {
+		for in := 0; in < 2; in++ {
+			full := uint32(s) | uint32(in)<<(convK-1)
+			t.outA[s][in] = parity(full & genA)
+			t.outB[s][in] = parity(full & genB)
+			t.next[s][in] = int(full >> 1)
+		}
+	}
+	return t
+}
+
+// Depuncture expands punctured coded bits back to the mother-code length for
+// n data bits, inserting 0.5 (erasure) at punctured positions. Input values
+// should be 0/1 hard decisions or soft confidences in [0,1].
+func Depuncture(coded []float64, n int, rate CodeRate) []float64 {
+	pat := rate.puncturePattern()
+	mother := make([]float64, 2*n)
+	ci := 0
+	for i := range mother {
+		if pat[i%len(pat)] {
+			if ci < len(coded) {
+				mother[i] = coded[ci]
+				ci++
+			} else {
+				mother[i] = 0.5
+			}
+		} else {
+			mother[i] = 0.5
+		}
+	}
+	return mother
+}
+
+// ViterbiDecode performs maximum-likelihood decoding of the zero-terminated
+// 802.11 convolutional code. coded contains soft bit confidences in [0,1]
+// (0.5 = erasure, i.e. contributes equally to both hypotheses) at the
+// punctured rate; n is the number of data bits that were encoded, including
+// the 6 tail bits. The returned slice has length n.
+func ViterbiDecode(coded []float64, n int, rate CodeRate) []byte {
+	mother := Depuncture(coded, n, rate)
+	const inf = math.MaxFloat64 / 4
+	metric := make([]float64, convStates)
+	nextMetric := make([]float64, convStates)
+	for i := range metric {
+		metric[i] = inf
+	}
+	metric[0] = 0 // encoder starts in the zero state
+
+	// decisions[t] bit s holds the low bit of the surviving predecessor of
+	// state s at step t.
+	decisions := make([]uint64, n)
+
+	for t := 0; t < n; t++ {
+		va := mother[2*t]
+		vb := mother[2*t+1]
+		for i := range nextMetric {
+			nextMetric[i] = inf
+		}
+		var dec uint64
+		for s := 0; s < convStates; s++ {
+			m := metric[s]
+			if m >= inf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				bm := branch(va, vt.outA[s][in]) + branch(vb, vt.outB[s][in])
+				ns := vt.next[s][in]
+				if nm := m + bm; nm < nextMetric[ns] {
+					nextMetric[ns] = nm
+					if s&1 == 1 {
+						dec |= 1 << uint(ns)
+					} else {
+						dec &^= 1 << uint(ns)
+					}
+				}
+			}
+		}
+		decisions[t] = dec
+		metric, nextMetric = nextMetric, metric
+	}
+
+	// Traceback. The code is zero-terminated, so prefer the zero state;
+	// under heavy corruption it may be unreachable, in which case use the
+	// best survivor.
+	state := 0
+	if metric[0] >= inf {
+		best := math.MaxFloat64
+		for s, m := range metric {
+			if m < best {
+				best, state = m, s
+			}
+		}
+	}
+	out := make([]byte, n)
+	for t := n - 1; t >= 0; t-- {
+		// The input that created `state` is its top bit.
+		out[t] = byte(state >> (convK - 2) & 1)
+		low := int(decisions[t] >> uint(state) & 1)
+		state = (state&(convStates/2-1))<<1 | low
+	}
+	return out
+}
+
+func branch(soft float64, expected byte) float64 {
+	return math.Abs(soft - float64(expected))
+}
+
+// HardToSoft converts hard bits (0/1) to the soft representation consumed by
+// ViterbiDecode.
+func HardToSoft(bits []byte) []float64 {
+	out := make([]float64, len(bits))
+	for i, b := range bits {
+		out[i] = float64(b & 1)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package permodel
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/modem"
+)
+
+// EmpiricalPER measures packet error rate by running the actual waveform
+// PHY end to end over an AWGN channel at the given SNR: encode, add noise,
+// detect, equalize, Viterbi-decode, CRC-check. It is the calibration
+// reference for the analytic model.
+func EmpiricalPER(cfg *modem.Config, rate modem.Rate, payloadBytes int, snrDB float64, trials int, rng *rand.Rand) float64 {
+	return EmpiricalPEROpts(cfg, rate, payloadBytes, snrDB, trials, rng, false)
+}
+
+// EmpiricalPEROpts is EmpiricalPER with soft-decision decoding selectable.
+func EmpiricalPEROpts(cfg *modem.Config, rate modem.Rate, payloadBytes int, snrDB float64, trials int, rng *rand.Rand, soft bool) float64 {
+	p := modem.FrameParams{
+		Cfg: cfg, Rate: rate, CP: cfg.CPLen,
+		PayloadLen: payloadBytes, ScramblerSeed: 0x5d,
+	}
+	payload := make([]byte, payloadBytes)
+	rng.Read(payload)
+	wave := modem.BuildFrame(p, payload)
+	sigPower := dsp.MeanPower(wave)
+	noisePower := channel.NoisePowerForSNR(sigPower, snrDB)
+
+	errors := 0
+	rx := &modem.Receiver{Cfg: cfg, FFTBackoff: 3, SoftDecision: soft}
+	for t := 0; t < trials; t++ {
+		// Surround the frame with noise so detection is realistic.
+		buf := make([]complex128, 300+len(wave)+300)
+		copy(buf[300:], wave)
+		channel.AddAWGN(rng, buf, noisePower)
+		got, ok, _, err := rx.Receive(p, buf, 0)
+		if err != nil || !ok || string(got) != string(payload) {
+			errors++
+		}
+	}
+	return float64(errors) / float64(trials)
+}
+
+// SNRForPER inverts FlatPER: the minimum SNR (dB) at which the analytic
+// model predicts a PER at or below target. Used to sanity-check rate
+// thresholds and to initialize rate adaptation.
+func SNRForPER(cfg *modem.Config, rate modem.Rate, payloadBytes int, target float64) float64 {
+	lo, hi := -5.0, 45.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if FlatPER(cfg, rate, payloadBytes, mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Round(hi*100) / 100
+}

@@ -1,0 +1,339 @@
+package phy
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/jce"
+	"repro/internal/modem"
+	"repro/internal/sls"
+	"repro/internal/stbc"
+)
+
+// JointRxResult reports everything a SourceSync receiver learns from one
+// joint frame.
+type JointRxResult struct {
+	Payload []byte
+	OK      bool // CRC passed
+	Header  SyncHeader
+
+	Detect   modem.DetectResult
+	ActiveCo []bool // which co-sender slots carried energy
+
+	// MisalignEst[i] is the measured symbol misalignment of co-sender i
+	// relative to the lead, in samples (the quantity fed back in ACKs,
+	// paper §4.5).
+	MisalignEst []float64
+
+	// NoiseBinPower is the per-FFT-bin noise power estimated from the SIFS
+	// silence gap.
+	NoiseBinPower float64
+	// SenderBinPower[j][k] is |H_j|^2 on signed subcarrier k for sender j
+	// (0 = lead).
+	SenderBinPower []map[int]float64
+	// EVM is the mean squared error vector magnitude over equalized data
+	// constellation points; 1/EVM is an effective post-combining SNR.
+	EVM float64
+}
+
+// CompositeSNR returns the per-subcarrier SNR (linear) the joint
+// transmission delivers: sum of sender channel powers over noise.
+func (r *JointRxResult) CompositeSNR() map[int]float64 {
+	out := map[int]float64{}
+	for _, sp := range r.SenderBinPower {
+		for k, v := range sp {
+			out[k] += v
+		}
+	}
+	for k := range out {
+		out[k] /= r.NoiseBinPower
+	}
+	return out
+}
+
+// SenderSNR returns sender j's per-subcarrier SNR (linear).
+func (r *JointRxResult) SenderSNR(j int) map[int]float64 {
+	out := map[int]float64{}
+	for k, v := range r.SenderBinPower[j] {
+		out[k] = v / r.NoiseBinPower
+	}
+	return out
+}
+
+// JointReceiver decodes SourceSync joint frames.
+type JointReceiver struct {
+	Cfg        *modem.Config
+	Det        modem.DetectorOptions
+	FFTBackoff int // samples of deliberate early FFT-window placement
+	// CEActivityFactor is the energy ratio over the noise floor above which
+	// a CE slot counts as an active co-sender (default 3).
+	CEActivityFactor float64
+	// NaivePhaseTracking disables per-sender pilot sharing (ablation of
+	// paper §5): a single common phase trajectory, fed by every symbol's
+	// pilots regardless of owner, is applied to all senders' channels.
+	// With distinct residual CFOs this mixes the senders' rotations and
+	// degrades decoding — the failure the shared-pilot design prevents.
+	NaivePhaseTracking bool
+}
+
+// ErrHeaderFailed is returned when the sync header cannot be decoded.
+var ErrHeaderFailed = errors.New("phy: sync header decode failed")
+
+// Receive decodes one joint frame from stream x starting the search at
+// index from. The receiver learns everything (rate, CP, payload length,
+// number of co-senders) from the sync header; params are not needed.
+func (r *JointReceiver) Receive(x []complex128, from int) (*JointRxResult, error) {
+	cfg := r.Cfg
+	if r.CEActivityFactor == 0 {
+		r.CEActivityFactor = 3
+	}
+	det := modem.DetectPacket(cfg, x, from, r.Det)
+	if !det.Detected {
+		return nil, modem.ErrNoPacket
+	}
+	res := &JointRxResult{Detect: det}
+	start := det.FineIdx
+	if start < 0 {
+		return nil, modem.ErrNoPacket
+	}
+
+	// Decode the sync header with the plain single-sender pipeline.
+	hp := headerFrameParams(cfg)
+	hdrSpan := hp.AirtimeSamples() + cfg.NFFT
+	if start+hdrSpan > len(x) {
+		return nil, modem.ErrNoPacket
+	}
+	buf := append([]complex128(nil), x[start:]...)
+	// Correct the lead's residual CFO globally; co-sender residuals are
+	// handled by per-sender pilot tracking.
+	modem.CorrectCFO(buf, det.CoarseCFO, 0)
+	residual := modem.EstimateCFO(cfg, buf, 0)
+	modem.CorrectCFO(buf, residual, 0)
+
+	hdrBytes, hdrOK := r.decodeHeaderSymbols(hp, buf)
+	if !hdrOK {
+		return res, ErrHeaderFailed
+	}
+	hdr, err := ParseSyncHeader(hdrBytes)
+	if err != nil {
+		return res, ErrHeaderFailed
+	}
+	res.Header = hdr
+
+	p := JointFrameParams{
+		Cfg:        cfg,
+		Rate:       modem.StandardRates()[hdr.RateIdx],
+		DataCP:     int(hdr.DataCP),
+		PayloadLen: int(hdr.PayloadLen),
+		Seed:       hdr.Seed,
+		NumCo:      int(hdr.NumCo),
+	}
+	if p.TotalLen()+cfg.NFFT > len(buf) {
+		return res, errors.New("phy: stream truncated mid frame")
+	}
+
+	// Noise floor from the SIFS silence gap (leave guard samples on both
+	// sides for channel tails and early co-senders).
+	res.NoiseBinPower = r.noiseFromGap(p, buf)
+
+	// Lead channel from the header preamble's LTS.
+	lts1 := cfg.LTSOffset() - r.FFTBackoff
+	hLead := cfg.EstimateChannelLTS(buf[lts1:lts1+cfg.NFFT], buf[lts1+cfg.NFFT:lts1+2*cfg.NFFT])
+
+	est := jce.NewEstimator(cfg, p.Senders())
+	est.SetChannel(0, hLead)
+
+	// Co-sender channels from their CE slots, with activity detection.
+	res.ActiveCo = make([]bool, p.NumCo)
+	res.MisalignEst = make([]float64, p.NumCo)
+	ceLen := p.ceSymbolLen()
+	for i := 0; i < p.NumCo; i++ {
+		slot := p.CESlot(i)
+		slotPower := dsp.MeanPower(buf[slot : slot+2*ceLen])
+		// Convert the per-bin noise estimate back to per-sample power.
+		noiseSample := res.NoiseBinPower / float64(cfg.NFFT)
+		if slotPower < r.CEActivityFactor*noiseSample {
+			est.MarkAbsent(i + 1)
+			continue
+		}
+		res.ActiveCo[i] = true
+		w1 := slot + p.DataCP - r.FFTBackoff
+		w2 := slot + ceLen + p.DataCP - r.FFTBackoff
+		est.EstimateFromCE(i+1, buf[w1:w1+cfg.NFFT], buf[w2:w2+cfg.NFFT])
+		res.MisalignEst[i] = sls.Misalignment(cfg, hLead, est.Channel(i+1))
+	}
+
+	// Collect per-sender channel powers for the SNR diagnostics.
+	res.SenderBinPower = make([]map[int]float64, p.Senders())
+	for j := 0; j < p.Senders(); j++ {
+		m := map[int]float64{}
+		if h := est.Channel(j); h != nil {
+			for _, k := range cfg.UsedBins() {
+				v := h[cfg.Bin(k)]
+				m[k] = real(v)*real(v) + imag(v)*imag(v)
+			}
+		}
+		res.SenderBinPower[j] = m
+	}
+
+	// Data symbols: FFT, pilot tracking, space-time decoding.
+	payload, ok, evm := r.decodeData(p, buf, est)
+	res.Payload = payload
+	res.OK = ok
+	res.EVM = evm
+	return res, nil
+}
+
+// decodeHeaderSymbols runs the single-sender pipeline over the header's data
+// symbols of an already CFO-corrected, preamble-aligned buffer.
+func (r *JointReceiver) decodeHeaderSymbols(hp modem.FrameParams, buf []complex128) ([]byte, bool) {
+	cfg := r.Cfg
+	lts1 := cfg.LTSOffset() - r.FFTBackoff
+	if lts1 < 0 {
+		return nil, false
+	}
+	h := cfg.EstimateChannelLTS(buf[lts1:lts1+cfg.NFFT], buf[lts1+cfg.NFFT:lts1+2*cfg.NFFT])
+	nsym := hp.NumDataSymbols()
+	symLen := hp.CP + cfg.NFFT
+	syms := make([][]complex128, 0, nsym)
+	for s := 0; s < nsym; s++ {
+		w := cfg.PreambleLen() + s*symLen + hp.CP - r.FFTBackoff
+		bins := cfg.SymbolBins(buf[w:])
+		phase, _ := cfg.PilotPhase(bins, h, s)
+		syms = append(syms, cfg.EqualizeData(bins, h, phase))
+	}
+	return hp.DecodeSymbolsToPayload(syms)
+}
+
+// noiseFromGap estimates per-FFT-bin noise power from the SIFS silence.
+func (r *JointReceiver) noiseFromGap(p JointFrameParams, buf []complex128) float64 {
+	cfg := p.Cfg
+	gapStart := p.HeaderEnd() + cfg.CPLen // skip channel tail
+	gapEnd := p.GlobalRef() - 8           // guard against early co-senders
+	if gapEnd-gapStart < cfg.NFFT {
+		gapStart = p.HeaderEnd()
+		gapEnd = p.GlobalRef()
+	}
+	win := buf[gapStart : gapStart+cfg.NFFT]
+	bins := dsp.FFT(win)
+	var acc float64
+	used := cfg.UsedBins()
+	for _, k := range used {
+		v := bins[cfg.Bin(k)]
+		acc += real(v)*real(v) + imag(v)*imag(v)
+	}
+	_ = gapEnd
+	return acc / float64(len(used))
+}
+
+// decodeData demodulates the space-time-coded data symbols.
+func (r *JointReceiver) decodeData(p JointFrameParams, buf []complex128, est *jce.Estimator) (payload []byte, ok bool, evm float64) {
+	cfg := p.Cfg
+	nsym := p.NumDataSymbols()
+	symLen := p.DataCP + cfg.NFFT
+	nd := cfg.NumData()
+
+	// First pass: FFT all data symbols and feed the pilot trackers.
+	allBins := make([][]complex128, nsym)
+	var naive *jce.PhaseTracker
+	if r.NaivePhaseTracking {
+		naive = jce.NewPhaseTracker()
+	}
+	for s := 0; s < nsym; s++ {
+		w := p.DataStart() + s*symLen + p.DataCP - r.FFTBackoff
+		allBins[s] = cfg.SymbolBins(buf[w:])
+		if naive != nil {
+			owner := est.PilotOwner(s)
+			if h := est.Channel(owner); h != nil {
+				if ph, ok := jce.MeasurePilotPhase(cfg, h, s, allBins[s]); ok {
+					naive.Update(s, ph)
+				}
+			}
+			continue
+		}
+		est.UpdatePilots(s, allBins[s])
+	}
+
+	var code stbc.Code
+	if p.Combining == CombineSTBC {
+		code, _ = stbc.ForSenders(p.Senders())
+	}
+
+	// rotAt returns the common rotation the naive (ablation) tracker would
+	// apply at a symbol; 1 when per-sender tracking is active.
+	rotAt := func(sym int) complex128 {
+		if naive == nil {
+			return 1
+		}
+		theta := naive.At(sym)
+		return complex(cosSin(theta))
+	}
+
+	eq := make([][]complex128, nsym)
+	for s := range eq {
+		eq[s] = make([]complex128, nd)
+	}
+	if code == nil {
+		// Naive combining: equalize against the composite channel.
+		for s := 0; s < nsym; s++ {
+			rot := rotAt(s)
+			for j, k := range cfg.DataBins() {
+				b := cfg.Bin(k)
+				h := est.Composite(s, b) * rot
+				if h == 0 {
+					continue
+				}
+				eq[s][j] = allBins[s][b] / h
+			}
+		}
+	} else {
+		bl := code.BlockLen()
+		y := make([]complex128, bl)
+		var hbuf []complex128
+		for b0 := 0; b0+bl <= nsym; b0 += bl {
+			mid := b0 + bl/2
+			rot := rotAt(mid)
+			for j, k := range cfg.DataBins() {
+				b := cfg.Bin(k)
+				for t := 0; t < bl; t++ {
+					y[t] = allBins[b0+t][b]
+				}
+				hbuf = est.SenderChannels(hbuf, mid, b)
+				if rot != 1 {
+					for i := range hbuf {
+						hbuf[i] *= rot
+					}
+				}
+				dec := code.Decode(y, hbuf)
+				for t := 0; t < bl; t++ {
+					eq[b0+t][j] = dec[t]
+				}
+			}
+		}
+	}
+
+	// EVM against nearest constellation points.
+	var evmAcc float64
+	var evmN int
+	for s := range eq {
+		for _, v := range eq[s] {
+			bits := p.Rate.Mod.Demap(v, nil)
+			ideal := p.Rate.Mod.Map(bits)
+			d := v - ideal
+			evmAcc += real(d)*real(d) + imag(d)*imag(d)
+			evmN++
+		}
+	}
+	if evmN > 0 {
+		evmAcc /= float64(evmN)
+	}
+
+	payload, ok = p.dataParams().DecodeSymbolsToPayload(eq)
+	return payload, ok, evmAcc
+}
+
+// cosSin returns (cos t, sin t) for building a unit rotation.
+func cosSin(t float64) (float64, float64) {
+	return math.Cos(t), math.Sin(t)
+}

@@ -1,0 +1,143 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/modem"
+	"repro/internal/sls"
+)
+
+func TestProbeExchangeFlatChannel(t *testing.T) {
+	cfg := modem.Profile80211()
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []float64{0.8, 2.5, 6.0} {
+		sim := &ProbeSimConfig{
+			Cfg:                 cfg,
+			Forward:             Link{Gain: 1, Delay: d},
+			Reverse:             Link{Gain: 1, Delay: d},
+			ResponderTurnaround: 150,
+			ResponderWait:       60,
+			NoiseProber:         1e-5,
+			NoiseResponder:      1e-5,
+			Rng:                 rng,
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatalf("d=%g: %v", d, err)
+		}
+		if math.Abs(res.EstimatedOneWay-d) > 0.3 {
+			t.Fatalf("d=%g: estimated %.3f", d, res.EstimatedOneWay)
+		}
+	}
+}
+
+func TestProbeExchangeMultipathAndCFO(t *testing.T) {
+	cfg := modem.Profile80211()
+	rng := rand.New(rand.NewSource(2))
+	var errs []float64
+	for trial := 0; trial < 12; trial++ {
+		d := 1 + rng.Float64()*6
+		sim := &ProbeSimConfig{
+			Cfg:                 cfg,
+			Forward:             Link{Gain: 1, Delay: d, Path: channel.NewIndoor(rng, cfg.SampleRateHz, 40, 6)},
+			Reverse:             Link{Gain: 1, Delay: d, Path: channel.NewIndoor(rng, cfg.SampleRateHz, 40, 6)},
+			ResponderTurnaround: 150,
+			ResponderWait:       60,
+			ProberCFO:           channel.PPMToCFO(8, 5.8e9, cfg.SampleRateHz),
+			ResponderCFO:        channel.PPMToCFO(-5, 5.8e9, cfg.SampleRateHz),
+			NoiseProber:         3e-4,
+			NoiseResponder:      3e-4,
+			Rng:                 rng,
+		}
+		res, err := sim.Run()
+		if err != nil {
+			continue
+		}
+		errs = append(errs, math.Abs(res.EstimatedOneWay-res.TrueOneWay))
+	}
+	if len(errs) < 9 {
+		t.Fatalf("only %d/12 exchanges completed", len(errs))
+	}
+	// Multipath centroids bias the estimate by up to a sample or two; that
+	// bias is physical (and partially cancels in the wait-time algebra).
+	for _, e := range errs {
+		if e > 2.5 {
+			t.Fatalf("one-way estimate error %.2f samples", e)
+		}
+	}
+}
+
+func TestProbeFailsOnDeadLink(t *testing.T) {
+	cfg := modem.Profile80211()
+	rng := rand.New(rand.NewSource(3))
+	sim := &ProbeSimConfig{
+		Cfg:                 cfg,
+		Forward:             Link{Gain: 1e-6, Delay: 2},
+		Reverse:             Link{Gain: 1, Delay: 2},
+		ResponderTurnaround: 150,
+		NoiseProber:         1e-3,
+		NoiseResponder:      1e-3,
+		Rng:                 rng,
+	}
+	if _, err := sim.Run(); err == nil {
+		t.Fatal("probe over a dead link should fail")
+	}
+}
+
+// TestClosedLoopTracking drives §4.5 end to end on waveforms: the co-sender
+// starts with a wrong wait offset; after each joint frame the receiver's
+// misalignment estimate is fed back (the ACK) and the co-sender updates its
+// offset via sls.TrackWait. The true misalignment must converge to within a
+// couple samples.
+func TestClosedLoopTracking(t *testing.T) {
+	cfg := modem.Profile80211()
+	rng := rand.New(rand.NewSource(4))
+	rate, _ := modem.RateByMbps(12)
+	p := JointFrameParams{
+		Cfg: cfg, Rate: rate, DataCP: cfg.CPLen + 8, // slack so early frames still decode
+		PayloadLen: 80, Seed: 0x5d, NumCo: 1, LeadID: 1, PacketID: 77,
+	}
+	mk := func() *channel.Multipath { return channel.NewIndoor(rng, cfg.SampleRateHz, 40, 6) }
+	sim := &JointSimConfig{
+		P:        p,
+		LeadToCo: []Link{{Gain: 1, Delay: 3, Path: mk()}},
+		LeadToRx: Link{Gain: 1, Delay: 5, Path: mk()},
+		CoToRx:   []Link{{Gain: 1, Delay: 2, Path: mk()}},
+		Co: []CoSenderSim{{
+			Turnaround:       120,
+			EstDelayFromLead: 3,
+			TxOffset:         9, // wrong: should be 5-2=3 -> starts 6 samples late
+			NoisePower:       1e-4,
+			FFTBackoff:       3,
+		}},
+		NoiseRx: 1e-4,
+		Rng:     rng,
+	}
+	payload := make([]byte, p.PayloadLen)
+	rng.Read(payload)
+	rx := &JointReceiver{Cfg: cfg, FFTBackoff: 3}
+
+	var lastTrue float64
+	for frame := 0; frame < 10; frame++ {
+		run, err := sim.Run(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !run.CoJoined[0] {
+			t.Fatalf("frame %d: co-sender missing", frame)
+		}
+		lastTrue = run.TrueMisalign[0]
+		res, err := rx.Receive(run.RxWave, 0)
+		if err != nil || !res.ActiveCo[0] {
+			t.Fatalf("frame %d: receive failed (%v)", frame, err)
+		}
+		// ACK feedback: the co-sender damps toward zero misalignment.
+		sim.Co[0].TxOffset = sls.TrackWait(sim.Co[0].TxOffset, res.MisalignEst[0], 0.5)
+	}
+	if math.Abs(lastTrue) > 2 {
+		t.Fatalf("closed loop did not converge: residual %.2f samples", lastTrue)
+	}
+}

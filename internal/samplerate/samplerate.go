@@ -1,0 +1,130 @@
+// Package samplerate implements Bicket's SampleRate bit-rate adaptation
+// algorithm, the rate controller the paper runs at the lead AP (§7.1,
+// §8.3): pick the rate with the lowest average per-packet transmission time
+// (including retries), and periodically sample other rates that could
+// plausibly do better.
+package samplerate
+
+import (
+	"math/rand"
+
+	"repro/internal/modem"
+)
+
+// rateStats tracks the running estimate for one rate.
+type rateStats struct {
+	avgTxTime    float64 // EWMA of per-packet medium time, seconds
+	samples      int
+	consecFails  int
+	lossyDisable int // packets remaining before the rate may be probed again
+}
+
+// SampleRate adapts the transmission rate per destination.
+type SampleRate struct {
+	rates   []modem.Rate
+	stats   []rateStats
+	current int
+	counter int
+	// ProbeInterval is how often (in packets) a non-current rate is
+	// sampled; Bicket uses every 10th packet.
+	ProbeInterval int
+	// EWMA smoothing for tx time updates.
+	Alpha float64
+	// baseline per-rate lossless frame time, used to bound which rates
+	// could possibly beat the current one.
+	frameTime []float64
+}
+
+// New creates a SampleRate controller over the standard rate set. frameTime
+// must give the lossless single-attempt airtime of the workload's packets
+// at each rate (same indexing as modem.StandardRates).
+func New(frameTime []float64) *SampleRate {
+	rates := modem.StandardRates()
+	if len(frameTime) != len(rates) {
+		panic("samplerate: need one frame time per standard rate")
+	}
+	s := &SampleRate{
+		rates:         rates,
+		stats:         make([]rateStats, len(rates)),
+		current:       0, // start at the most robust rate
+		ProbeInterval: 10,
+		Alpha:         0.25,
+		frameTime:     frameTime,
+	}
+	for i := range s.stats {
+		s.stats[i].avgTxTime = frameTime[i] // optimistic prior
+	}
+	return s
+}
+
+// Current returns the index of the current best rate.
+func (s *SampleRate) Current() int { return s.current }
+
+// Pick returns the rate index to use for the next packet and whether this
+// is a probe of a non-current rate.
+func (s *SampleRate) Pick(rng *rand.Rand) (idx int, probe bool) {
+	s.counter++
+	if s.counter%s.ProbeInterval == 0 {
+		if c := s.probeCandidates(); len(c) > 0 {
+			return c[rng.Intn(len(c))], true
+		}
+	}
+	return s.current, false
+}
+
+// probeCandidates lists rates other than the current one whose lossless
+// frame time beats the current rate's average tx time (i.e. rates that
+// could plausibly be faster), excluding recently-failed ones.
+func (s *SampleRate) probeCandidates() []int {
+	cur := s.stats[s.current].avgTxTime
+	var out []int
+	for i := range s.rates {
+		if i == s.current {
+			continue
+		}
+		if s.stats[i].lossyDisable > 0 {
+			s.stats[i].lossyDisable--
+			continue
+		}
+		if s.frameTime[i] < cur {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Update records the outcome of one packet at rate idx: the total medium
+// time it consumed (including retries) and whether it was delivered.
+func (s *SampleRate) Update(idx int, success bool, txTime float64) {
+	st := &s.stats[idx]
+	st.samples++
+	if success {
+		st.consecFails = 0
+		st.avgTxTime += s.Alpha * (txTime - st.avgTxTime)
+	} else {
+		st.consecFails++
+		// Charge a failed packet its full (retry-limit) cost.
+		st.avgTxTime += s.Alpha * (txTime*2 - st.avgTxTime)
+		if st.consecFails >= 4 {
+			// Bicket: stop sampling a rate after four successive failures.
+			st.lossyDisable = 50
+		}
+	}
+	// Re-elect the best rate among those with data.
+	best := s.current
+	for i := range s.stats {
+		if s.stats[i].samples == 0 && i != s.current {
+			continue
+		}
+		if s.stats[i].lossyDisable > 0 {
+			continue
+		}
+		if s.stats[i].avgTxTime < s.stats[best].avgTxTime {
+			best = i
+		}
+	}
+	s.current = best
+}
+
+// Rate returns the modem rate at index idx.
+func (s *SampleRate) Rate(idx int) modem.Rate { return s.rates[idx] }

@@ -1,0 +1,108 @@
+package sls
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+)
+
+// ProbeExchange carries the measurements from one probe/response round trip
+// used to estimate the one-way propagation delay between two nodes (paper
+// §4.2c, Eq. 2). All quantities are in samples of the prober's clock.
+type ProbeExchange struct {
+	RoundTrip   float64 // probe TX start to response detection instant
+	DetectRx    float64 // responder's detection-delay estimate for the probe
+	TurnRx      float64 // responder's hardware turnaround time
+	DetectTx    float64 // prober's detection-delay estimate for the response
+	ExtraWaitRx float64 // any deliberate constant wait added at the responder
+}
+
+// OneWayDelay solves Eq. 2 for the one-way propagation delay: half of the
+// round trip after removing both detection delays, the responder turnaround
+// and any deliberate wait.
+func (p ProbeExchange) OneWayDelay() float64 {
+	return (p.RoundTrip - p.DetectRx - p.TurnRx - p.DetectTx - p.ExtraWaitRx) / 2
+}
+
+// CoSenderSchedule is the per-co-sender timing computed before a joint
+// transmission (paper §4.3). All values in samples.
+type CoSenderSchedule struct {
+	// WaitAfterReady is how long the co-sender idles after it has finished
+	// switching to transmit, to land on the global time reference:
+	// SIFS - (d_i + Delta_i + h_i).
+	WaitAfterReady float64
+	// TxOffset shifts the transmission relative to the global time
+	// reference to equalize propagation to the receiver: w_i = T0 - t_i.
+	TxOffset float64
+}
+
+// ComputeSchedule derives a co-sender's timing. sifs is the SIFS duration in
+// samples; dLead the propagation delay from the lead sender; detect the
+// detection-delay estimate for the sync header; turn the hardware
+// turnaround; tLeadRx and tCoRx the one-way delays from the lead sender and
+// this co-sender to the receiver.
+func ComputeSchedule(sifs, dLead, detect, turn, tLeadRx, tCoRx float64) (CoSenderSchedule, error) {
+	ready := dLead + detect + turn
+	if ready > sifs {
+		return CoSenderSchedule{}, fmt.Errorf("sls: co-sender not ready within SIFS (%.1f > %.1f samples)", ready, sifs)
+	}
+	return CoSenderSchedule{
+		WaitAfterReady: sifs - ready,
+		TxOffset:       tLeadRx - tCoRx,
+	}, nil
+}
+
+// MultiReceiverWaits chooses co-sender wait times minimizing the maximum
+// pairwise misalignment across a set of receivers (paper §4.6).
+//
+// tLead[k] is the one-way delay from the lead sender to receiver k;
+// tCo[i][k] from co-sender i to receiver k. It returns the optimal TxOffset
+// per co-sender and the residual worst-case misalignment, which the lead
+// sender converts into a CP increase.
+func MultiReceiverWaits(tLead []float64, tCo [][]float64) (w []float64, maxMis float64, err error) {
+	nrx := len(tLead)
+	nco := len(tCo)
+	if nco == 0 || nrx == 0 {
+		return nil, 0, nil
+	}
+	var offsets []float64
+	var gains [][]float64
+	for k := 0; k < nrx; k++ {
+		// Co-sender i vs lead at receiver k: (w_i + t_ik) - T_k.
+		for i := 0; i < nco; i++ {
+			g := make([]float64, nco)
+			g[i] = 1
+			offsets = append(offsets, tCo[i][k]-tLead[k])
+			gains = append(gains, g)
+		}
+		// Co-sender i vs co-sender j at receiver k.
+		for i := 0; i < nco; i++ {
+			for j := i + 1; j < nco; j++ {
+				g := make([]float64, nco)
+				g[i] = 1
+				g[j] = -1
+				offsets = append(offsets, tCo[i][k]-tCo[j][k])
+				gains = append(gains, g)
+			}
+		}
+	}
+	return lp.MinimizeMaxAbs(offsets, gains)
+}
+
+// CPIncreaseSamples converts a worst-case misalignment (samples) into the
+// integer number of extra cyclic-prefix samples the lead sender advertises
+// in its synchronization header.
+func CPIncreaseSamples(maxMis float64) int {
+	if maxMis <= 0 {
+		return 0
+	}
+	return int(maxMis + 0.999999)
+}
+
+// TrackWait updates a co-sender's TxOffset from the misalignment the
+// receiver measured and fed back in its ACK (paper §4.5). Positive
+// misalignment means the co-sender arrived late, so the offset decreases.
+// gain in (0,1] damps the correction against measurement noise.
+func TrackWait(current, measuredMisalignment, gain float64) float64 {
+	return current - gain*measuredMisalignment
+}

@@ -1,0 +1,254 @@
+package stbc
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// Code is a space-time block code applied per subcarrier. A block of
+// DataLen() data symbols is expanded into BlockLen() symbol times; sender
+// role r transmits Encode(r, block)[t] during symbol time t of the block.
+type Code interface {
+	// Senders is the number of codewords (concurrent transmitters).
+	Senders() int
+	// BlockLen is the number of OFDM symbol times per code block.
+	BlockLen() int
+	// DataLen is the number of data symbols carried per block.
+	DataLen() int
+	// Encode returns what sender `role` transmits over one block.
+	Encode(role int, data []complex128) []complex128
+	// Decode recovers the data symbols from the received block y given the
+	// per-sender channel coefficients h (len Senders; zero for senders that
+	// did not participate).
+	Decode(y, h []complex128) []complex128
+	// Gain returns the effective diversity-combining power gain achieved
+	// with channels h, relative to a unit flat channel: for orthogonal
+	// codes this is sum |h_i|^2.
+	Gain(h []complex128) float64
+}
+
+// ForSenders returns the code SourceSync assigns to k concurrent senders:
+// trivial pass-through for 1, Alamouti for 2, quasi-orthogonal for 3-4, and
+// the replicated codebook (codewords reused round-robin) beyond that
+// (paper §6).
+func ForSenders(k int) (Code, error) {
+	switch {
+	case k == 1:
+		return Single{}, nil
+	case k == 2:
+		return Alamouti{}, nil
+	case k == 3 || k == 4:
+		return QuasiOrthogonal{}, nil
+	case k > 4 && k <= 8:
+		return Replicated{Base: QuasiOrthogonal{}, NumSenders: k}, nil
+	}
+	return nil, fmt.Errorf("stbc: no code for %d senders", k)
+}
+
+// Replicated extends a base code to more senders than it has codewords by
+// assigning codewords round-robin (paper §6's replicated Alamouti
+// codebook): sender role r uses base codeword r mod Base.Senders(). Senders
+// sharing a codeword act as one distributed antenna whose effective channel
+// is the sum of their individual channels.
+type Replicated struct {
+	Base       Code
+	NumSenders int
+}
+
+// Senders implements Code.
+func (r Replicated) Senders() int { return r.NumSenders }
+
+// BlockLen implements Code.
+func (r Replicated) BlockLen() int { return r.Base.BlockLen() }
+
+// DataLen implements Code.
+func (r Replicated) DataLen() int { return r.Base.DataLen() }
+
+// Encode implements Code.
+func (r Replicated) Encode(role int, data []complex128) []complex128 {
+	if role < 0 || role >= r.NumSenders {
+		panic("stbc: Replicated role out of range")
+	}
+	return r.Base.Encode(role%r.Base.Senders(), data)
+}
+
+// fold sums per-sender channels into per-codeword effective channels.
+func (r Replicated) fold(h []complex128) []complex128 {
+	base := r.Base.Senders()
+	out := make([]complex128, base)
+	for j, v := range h {
+		out[j%base] += v
+	}
+	return out
+}
+
+// Decode implements Code.
+func (r Replicated) Decode(y, h []complex128) []complex128 {
+	return r.Base.Decode(y, r.fold(h))
+}
+
+// Gain implements Code.
+func (r Replicated) Gain(h []complex128) float64 {
+	return r.Base.Gain(r.fold(h))
+}
+
+// Single is the degenerate one-sender "code".
+type Single struct{}
+
+// Senders implements Code.
+func (Single) Senders() int { return 1 }
+
+// BlockLen implements Code.
+func (Single) BlockLen() int { return 1 }
+
+// DataLen implements Code.
+func (Single) DataLen() int { return 1 }
+
+// Encode implements Code.
+func (Single) Encode(role int, data []complex128) []complex128 {
+	if role != 0 {
+		panic("stbc: Single has only role 0")
+	}
+	return []complex128{data[0]}
+}
+
+// Decode implements Code.
+func (Single) Decode(y, h []complex128) []complex128 {
+	if h[0] == 0 {
+		return []complex128{0}
+	}
+	return []complex128{y[0] / h[0]}
+}
+
+// Gain implements Code.
+func (Single) Gain(h []complex128) float64 {
+	return sq(h[0])
+}
+
+func sq(v complex128) float64 { return real(v)*real(v) + imag(v)*imag(v) }
+
+// Alamouti is the rate-1 orthogonal code for two senders:
+//
+//	time 1: sender0 sends x1,    sender1 sends x2
+//	time 2: sender0 sends -x2*,  sender1 sends x1*
+type Alamouti struct{}
+
+// Senders implements Code.
+func (Alamouti) Senders() int { return 2 }
+
+// BlockLen implements Code.
+func (Alamouti) BlockLen() int { return 2 }
+
+// DataLen implements Code.
+func (Alamouti) DataLen() int { return 2 }
+
+// Encode implements Code.
+func (Alamouti) Encode(role int, data []complex128) []complex128 {
+	x1, x2 := data[0], data[1]
+	switch role {
+	case 0:
+		return []complex128{x1, -cmplx.Conj(x2)}
+	case 1:
+		return []complex128{x2, cmplx.Conj(x1)}
+	}
+	panic("stbc: Alamouti role out of range")
+}
+
+// Decode implements Code. It uses the standard linear combiner, which is ML
+// for this orthogonal code:
+//
+//	x1 = h0* y1 + h1 y2*,  x2 = h1* y1 - h0 y2*
+//
+// normalized by the combined channel gain.
+func (Alamouti) Decode(y, h []complex128) []complex128 {
+	g := sq(h[0]) + sq(h[1])
+	if g == 0 {
+		return []complex128{0, 0}
+	}
+	gn := complex(g, 0)
+	x1 := (cmplx.Conj(h[0])*y[0] + h[1]*cmplx.Conj(y[1])) / gn
+	x2 := (cmplx.Conj(h[1])*y[0] - h[0]*cmplx.Conj(y[1])) / gn
+	return []complex128{x1, x2}
+}
+
+// Gain implements Code.
+func (Alamouti) Gain(h []complex128) float64 { return sq(h[0]) + sq(h[1]) }
+
+// QuasiOrthogonal is the Jafarkhani rate-1 quasi-orthogonal code for four
+// senders built from Alamouti sub-blocks. With fewer than four participants
+// the missing senders' channels are zero and the decoder still recovers the
+// data (the property SourceSync relies on when not all co-forwarders hear a
+// packet).
+//
+// Transmission matrix (rows = symbol times, columns = sender roles):
+//
+//	 x1    x2    x3    x4
+//	-x2*   x1*  -x4*   x3*
+//	-x3*  -x4*   x1*   x2*
+//	 x4   -x3   -x2    x1
+type QuasiOrthogonal struct{}
+
+// Senders implements Code.
+func (QuasiOrthogonal) Senders() int { return 4 }
+
+// BlockLen implements Code.
+func (QuasiOrthogonal) BlockLen() int { return 4 }
+
+// DataLen implements Code.
+func (QuasiOrthogonal) DataLen() int { return 4 }
+
+// Encode implements Code.
+func (QuasiOrthogonal) Encode(role int, data []complex128) []complex128 {
+	x1, x2, x3, x4 := data[0], data[1], data[2], data[3]
+	c := cmplx.Conj
+	switch role {
+	case 0:
+		return []complex128{x1, -c(x2), -c(x3), x4}
+	case 1:
+		return []complex128{x2, c(x1), -c(x4), -x3}
+	case 2:
+		return []complex128{x3, -c(x4), c(x1), -x2}
+	case 3:
+		return []complex128{x4, c(x3), c(x2), x1}
+	}
+	panic("stbc: QuasiOrthogonal role out of range")
+}
+
+// Decode implements Code via regularized least squares on the equivalent
+// linear system in [x1 x2 x3 x4]. Conjugating the middle two receptions
+// makes every equation linear in the data symbols:
+//
+//	y1  =  h1 x1 + h2 x2 + h3 x3 + h4 x4
+//	y2* = h2* x1 - h1* x2 + h4* x3 - h3* x4
+//	y3* = h3* x1 + h4* x2 - h1* x3 - h2* x4
+//	y4  =  h4 x1 - h3 x2 - h2 x3 + h1 x4
+func (QuasiOrthogonal) Decode(y, h []complex128) []complex128 {
+	h = pad4(h)
+	c := cmplx.Conj
+	h1, h2, h3, h4 := h[0], h[1], h[2], h[3]
+	a := [][]complex128{
+		{h1, h2, h3, h4},
+		{c(h2), -c(h1), c(h4), -c(h3)},
+		{c(h3), c(h4), -c(h1), -c(h2)},
+		{h4, -h3, -h2, h1},
+	}
+	yy := []complex128{y[0], c(y[1]), c(y[2]), y[3]}
+	return solveLeastSquares(a, yy, 1e-9)
+}
+
+// Gain implements Code.
+func (QuasiOrthogonal) Gain(h []complex128) float64 {
+	h = pad4(h)
+	return sq(h[0]) + sq(h[1]) + sq(h[2]) + sq(h[3])
+}
+
+// pad4 extends a channel vector to four entries with zeros, so the
+// quasi-orthogonal code accepts 3-sender deployments directly.
+func pad4(h []complex128) []complex128 {
+	if len(h) >= 4 {
+		return h
+	}
+	out := make([]complex128, 4)
+	copy(out, h)
+	return out
+}

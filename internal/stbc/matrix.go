@@ -1,0 +1,68 @@
+// Package stbc implements the space-time block codes SourceSync's Smart
+// Combiner distributes across senders (paper §6): the Alamouti code for two
+// concurrent senders and the Jafarkhani quasi-orthogonal code for up to
+// four. Codes are applied independently per OFDM subcarrier, coding data
+// symbols across consecutive OFDM symbol times so that signals from senders
+// with arbitrary relative channel phases never combine destructively for a
+// whole packet.
+package stbc
+
+import "math/cmplx"
+
+// solveLeastSquares solves (A^H A + eps I) x = A^H y for the small dense
+// complex systems produced by STBC decoding. Regularization keeps the solve
+// stable when some senders are absent (zero channel columns).
+func solveLeastSquares(a [][]complex128, y []complex128, eps float64) []complex128 {
+	m := len(a)
+	if m == 0 {
+		return nil
+	}
+	n := len(a[0])
+	// g = A^H A + eps I  (n x n), rhs = A^H y.
+	g := make([][]complex128, n)
+	rhs := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		g[i] = make([]complex128, n)
+		for j := 0; j < n; j++ {
+			var s complex128
+			for k := 0; k < m; k++ {
+				s += cmplx.Conj(a[k][i]) * a[k][j]
+			}
+			g[i][j] = s
+		}
+		g[i][i] += complex(eps, 0)
+		var s complex128
+		for k := 0; k < m; k++ {
+			s += cmplx.Conj(a[k][i]) * y[k]
+		}
+		rhs[i] = s
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		piv := col
+		best := cmplx.Abs(g[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := cmplx.Abs(g[r][col]); v > best {
+				best, piv = v, r
+			}
+		}
+		g[col], g[piv] = g[piv], g[col]
+		rhs[col], rhs[piv] = rhs[piv], rhs[col]
+		inv := 1 / g[col][col]
+		for j := col; j < n; j++ {
+			g[col][j] *= inv
+		}
+		rhs[col] *= inv
+		for r := 0; r < n; r++ {
+			if r == col || g[r][col] == 0 {
+				continue
+			}
+			f := g[r][col]
+			for j := col; j < n; j++ {
+				g[r][j] -= f * g[col][j]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	return rhs
+}
