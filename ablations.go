@@ -6,10 +6,16 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/dsp"
+	"repro/internal/engine"
 	"repro/internal/modem"
 	"repro/internal/phy"
 	"repro/internal/sls"
 )
+
+// Every trial-based runner in this file takes a workers argument with the
+// engine's convention: 0 uses one worker per CPU, 1 runs serially. Outputs
+// are identical at every worker count. RunOverheadTable is closed-form and
+// has no trials to parallelize.
 
 // ------------------------------------------------------- §4.4 overhead
 
@@ -56,37 +62,48 @@ type DetDelayPoint struct {
 
 // RunDetDelay measures the coarse packet-detection delay (detector firing
 // instant minus true first sample) across SNRs on the WiGLAN profile.
-func RunDetDelay(seed int64, snrs []float64, trials int) []DetDelayPoint {
+func RunDetDelay(seed int64, snrs []float64, trials, workers int) []DetDelayPoint {
 	cfg := ProfileWiGLAN()
-	rng := rand.New(rand.NewSource(seed))
 	p := modem.FrameParams{
 		Cfg: cfg, Rate: modem.Rate{Mod: modem.BPSK, Code: modem.Rate12},
 		CP: cfg.CPLen, PayloadLen: 20, ScramblerSeed: 0x5d,
 	}
-	payload := make([]byte, p.PayloadLen)
-	rng.Read(payload)
 	nsPerSample := 1e9 / cfg.SampleRateHz
+	ec := engine.Config{Seed: seed, Workers: workers}
+
+	type detTrial struct {
+		delayNs float64
+		ok      bool
+	}
+	grid := engine.Grid(ec, len(snrs), trials, func(pt, t int, rng *rand.Rand) detTrial {
+		payload := make([]byte, p.PayloadLen)
+		rng.Read(payload)
+		wave := modem.BuildFrame(p, payload)
+		m := channel.NewIndoor(rng, cfg.SampleRateHz, 30, 6)
+		faded := m.Apply(wave)
+		sig := dsp.MeanPower(faded)
+		noise := channel.NoisePowerForSNR(sig, snrs[pt])
+		const lead = 700
+		buf := make([]complex128, lead+len(faded)+400)
+		copy(buf[lead:], faded)
+		channel.AddAWGN(rng, buf, noise)
+		det := modem.DetectPacket(cfg, buf, 0, modem.DetectorOptions{})
+		if !det.Detected || det.CoarseIdx < lead-2*cfg.NFFT {
+			return detTrial{}
+		}
+		return detTrial{delayNs: float64(det.CoarseIdx-lead) * nsPerSample, ok: true}
+	})
 
 	var out []DetDelayPoint
-	for _, snr := range snrs {
+	for i, snr := range snrs {
 		var delays []float64
 		missed := 0
-		for t := 0; t < trials; t++ {
-			wave := modem.BuildFrame(p, payload)
-			m := channel.NewIndoor(rng, cfg.SampleRateHz, 30, 6)
-			faded := m.Apply(wave)
-			sig := dsp.MeanPower(faded)
-			noise := channel.NoisePowerForSNR(sig, snr)
-			const lead = 700
-			buf := make([]complex128, lead+len(faded)+400)
-			copy(buf[lead:], faded)
-			channel.AddAWGN(rng, buf, noise)
-			det := modem.DetectPacket(cfg, buf, 0, modem.DetectorOptions{})
-			if !det.Detected || det.CoarseIdx < lead-2*cfg.NFFT {
+		for _, tr := range grid[i] {
+			if tr.ok {
+				delays = append(delays, tr.delayNs)
+			} else {
 				missed++
-				continue
 			}
-			delays = append(delays, float64(det.CoarseIdx-lead)*nsPerSample)
 		}
 		pt := DetDelayPoint{SNRdB: snr, Detected: len(delays), Missed: missed}
 		if len(delays) > 0 {
@@ -113,11 +130,11 @@ type SlopeWindowResult struct {
 // narrower than the coherence bandwidth (§4.2a): over heavier multipath the
 // windowed estimator's error on delay differences stays lower than the
 // whole-band fit, which suffers unwrap errors across deep fades.
-func RunAblationSlopeWindow(seed int64, draws int) SlopeWindowResult {
+func RunAblationSlopeWindow(seed int64, draws, workers int) SlopeWindowResult {
 	cfg := ProfileWiGLAN()
-	rng := rand.New(rand.NewSource(seed))
-	var wErr, bErr float64
-	for i := 0; i < draws; i++ {
+	ec := engine.Config{Seed: seed, Workers: workers}
+	type sqErr struct{ w, b float64 }
+	rows := engine.Map(ec, 0, draws, func(i int, rng *rand.Rand) sqErr {
 		m := channel.NewIndoor(rng, cfg.SampleRateHz, 60, 0) // heavy NLOS multipath
 		d1 := rng.Float64() * 3
 		d2 := d1 + 1.5
@@ -125,8 +142,12 @@ func RunAblationSlopeWindow(seed int64, draws int) SlopeWindowResult {
 		h2 := delayedChannel(cfg, m, d2)
 		w := (sls.EstimateDelay(cfg, h2) - sls.EstimateDelay(cfg, h1)) - (d2 - d1)
 		b := (sls.EstimateDelayWindowed(cfg, h2, 1e12) - sls.EstimateDelayWindowed(cfg, h1, 1e12)) - (d2 - d1)
-		wErr += w * w
-		bErr += b * b
+		return sqErr{w: w * w, b: b * b}
+	})
+	var wErr, bErr float64
+	for _, r := range rows {
+		wErr += r.w
+		bErr += r.b
 	}
 	return SlopeWindowResult{
 		WindowedRMS:  math.Sqrt(wErr / float64(draws)),
@@ -163,41 +184,60 @@ type NaiveCombiningResult struct {
 
 // RunAblationNaiveCombining quantifies the Smart Combiner's value: with
 // naive identical transmission some relative phases cancel destructively;
-// with the Alamouti code the worst case stays near the best case.
-func RunAblationNaiveCombining(seed int64, frames int) NaiveCombiningResult {
+// with the Alamouti code the worst case stays near the best case. The phase
+// sweep forms the engine grid's points and the two modes its trials; both
+// modes deliberately draw from the frame's PointRNG rather than their own
+// trial streams, so each phase point compares STBC against naive on the
+// identical channel realization and payload — the comparison isolates the
+// combining scheme, not the fading luck.
+func RunAblationNaiveCombining(seed int64, frames, workers int) NaiveCombiningResult {
 	cfg := ProfileWiGLAN()
 	res := NaiveCombiningResult{Frames: frames}
 	res.STBCWorstSNRdB = math.Inf(1)
 	res.NaiveWorstSNRdB = math.Inf(1)
-	for mode := 0; mode < 2; mode++ {
-		for f := 0; f < frames; f++ {
-			rng := rand.New(rand.NewSource(seed + int64(f)))
-			sim := fig13Sim(rng, cfg, cfg.CPLen, 25, false)
-			if mode == 1 {
-				sim.P.Combining = phy.CombineNaive
+	ec := engine.Config{Seed: seed, Workers: workers}
+
+	type frameRes struct {
+		snrDB  float64
+		ok     bool
+		failed bool
+	}
+	grid := engine.Grid(ec, frames, 2, func(f, mode int, _ *rand.Rand) frameRes {
+		rng := engine.PointRNG(seed, f)
+		sim := fig13Sim(rng, cfg, cfg.CPLen, 25, false)
+		if mode == 1 {
+			sim.P.Combining = phy.CombineNaive
+		}
+		// Sweep the co-sender's oscillator phase across the circle.
+		sim.Co[0].Phase = 2 * math.Pi * float64(f) / float64(frames)
+		payload := make([]byte, sim.P.PayloadLen)
+		rng.Read(payload)
+		run, err := sim.Run(payload)
+		if err != nil || !run.CoJoined[0] {
+			return frameRes{}
+		}
+		rx := &phy.JointReceiver{Cfg: cfg, FFTBackoff: 3}
+		out, err := rx.Receive(run.RxWave, 0)
+		if err != nil || out.EVM <= 0 {
+			return frameRes{failed: true}
+		}
+		return frameRes{snrDB: dsp.DB(1 / out.EVM), ok: true}
+	})
+
+	for f := 0; f < frames; f++ {
+		for mode := 0; mode < 2; mode++ {
+			r := grid[f][mode]
+			if r.failed && mode == 1 {
+				res.NaiveFailures++
 			}
-			// Sweep the co-sender's oscillator phase across the circle.
-			sim.Co[0].Phase = 2 * math.Pi * float64(f) / float64(frames)
-			payload := make([]byte, sim.P.PayloadLen)
-			rng.Read(payload)
-			run, err := sim.Run(payload)
-			if err != nil || !run.CoJoined[0] {
+			if !r.ok {
 				continue
 			}
-			rx := &phy.JointReceiver{Cfg: cfg, FFTBackoff: 3}
-			out, err := rx.Receive(run.RxWave, 0)
-			if err != nil || out.EVM <= 0 {
-				if mode == 1 {
-					res.NaiveFailures++
-				}
-				continue
+			if mode == 0 && r.snrDB < res.STBCWorstSNRdB {
+				res.STBCWorstSNRdB = r.snrDB
 			}
-			snr := dsp.DB(1 / out.EVM)
-			if mode == 0 && snr < res.STBCWorstSNRdB {
-				res.STBCWorstSNRdB = snr
-			}
-			if mode == 1 && snr < res.NaiveWorstSNRdB {
-				res.NaiveWorstSNRdB = snr
+			if mode == 1 && r.snrDB < res.NaiveWorstSNRdB {
+				res.NaiveWorstSNRdB = r.snrDB
 			}
 		}
 	}
@@ -217,13 +257,15 @@ type PilotSharingResult struct {
 // RunAblationPilotSharing measures decoding quality with and without the
 // paper's shared-pilot per-sender phase tracking when the two senders carry
 // different residual frequency offsets.
-func RunAblationPilotSharing(seed int64, frames int) PilotSharingResult {
+func RunAblationPilotSharing(seed int64, frames, workers int) PilotSharingResult {
 	cfg := ProfileWiGLAN()
 	res := PilotSharingResult{Frames: frames}
-	var sAcc, nAcc float64
-	var sN, nN int
-	for f := 0; f < frames; f++ {
-		rng := rand.New(rand.NewSource(seed + int64(f)))
+	ec := engine.Config{Seed: seed, Workers: workers}
+
+	type frameRes struct {
+		sharedEVM, naiveEVM float64
+	}
+	rows := engine.Map(ec, 0, frames, func(f int, rng *rand.Rand) frameRes {
 		sim := fig13Sim(rng, cfg, cfg.CPLen, 25, false)
 		// Exaggerate the residual offsets so the divergence is visible in a
 		// short frame; use a longer payload for drift to accumulate.
@@ -234,16 +276,29 @@ func RunAblationPilotSharing(seed int64, frames int) PilotSharingResult {
 		rng.Read(payload)
 		run, err := sim.Run(payload)
 		if err != nil || !run.CoJoined[0] {
-			continue
+			return frameRes{}
 		}
+		var fr frameRes
 		shared := &phy.JointReceiver{Cfg: cfg, FFTBackoff: 3}
 		if out, err := shared.Receive(run.RxWave, 0); err == nil && out.EVM > 0 {
-			sAcc += out.EVM
-			sN++
+			fr.sharedEVM = out.EVM
 		}
 		naive := &phy.JointReceiver{Cfg: cfg, FFTBackoff: 3, NaivePhaseTracking: true}
 		if out, err := naive.Receive(run.RxWave, 0); err == nil && out.EVM > 0 {
-			nAcc += out.EVM
+			fr.naiveEVM = out.EVM
+		}
+		return fr
+	})
+
+	var sAcc, nAcc float64
+	var sN, nN int
+	for _, r := range rows {
+		if r.sharedEVM > 0 {
+			sAcc += r.sharedEVM
+			sN++
+		}
+		if r.naiveEVM > 0 {
+			nAcc += r.naiveEVM
 			nN++
 		}
 	}
@@ -270,10 +325,15 @@ type MultiRxLPResult struct {
 // RunAblationMultiRxLP quantifies §4.6: with several receivers, choosing
 // wait times via the min-max LP lowers the worst-case misalignment (and
 // hence the CP increase) relative to aligning at a single receiver.
-func RunAblationMultiRxLP(seed int64, configs, receivers int) MultiRxLPResult {
-	rng := rand.New(rand.NewSource(seed))
+func RunAblationMultiRxLP(seed int64, configs, receivers, workers int) MultiRxLPResult {
 	res := MultiRxLPResult{Configurations: configs, ReceiversPerConf: receivers}
-	for c := 0; c < configs; c++ {
+	ec := engine.Config{Seed: seed, Workers: workers}
+
+	type cfgRes struct {
+		lpMax, worst float64
+		ok           bool
+	}
+	rows := engine.Map(ec, 0, configs, func(c int, rng *rand.Rand) cfgRes {
 		tLead := make([]float64, receivers)
 		tCo := [][]float64{make([]float64, receivers), make([]float64, receivers)}
 		for k := 0; k < receivers; k++ {
@@ -283,7 +343,7 @@ func RunAblationMultiRxLP(seed int64, configs, receivers int) MultiRxLPResult {
 		}
 		_, lpMax, err := sls.MultiReceiverWaits(tLead, tCo)
 		if err != nil {
-			continue
+			return cfgRes{}
 		}
 		// First-receiver alignment: w_i = T_0 - t_i0.
 		w0 := []float64{tLead[0] - tCo[0][0], tLead[0] - tCo[1][0]}
@@ -298,8 +358,15 @@ func RunAblationMultiRxLP(seed int64, configs, receivers int) MultiRxLPResult {
 				worst = v
 			}
 		}
-		res.LPMaxMisalign += lpMax / float64(configs)
-		res.FirstRxMisalign += worst / float64(configs)
+		return cfgRes{lpMax: lpMax, worst: worst, ok: true}
+	})
+
+	for _, r := range rows {
+		if !r.ok {
+			continue
+		}
+		res.LPMaxMisalign += r.lpMax / float64(configs)
+		res.FirstRxMisalign += r.worst / float64(configs)
 	}
 	return res
 }

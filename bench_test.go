@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dsp"
 	"repro/internal/modem"
@@ -34,6 +35,36 @@ func BenchmarkFig12SyncError(b *testing.B) {
 		}
 	}
 	b.ReportMetric(worstP95, "p95-sync-error-ns")
+}
+
+var engineFig12SerialOnce sync.Once
+var engineFig12SerialSec float64
+
+func BenchmarkEngineFig12Parallel(b *testing.B) {
+	// Speedup of the engine's worker pool over its serial path on the same
+	// workload. Output is identical in both modes; only wall clock differs.
+	// The serial baseline is measured once per process (the harness calls
+	// this function repeatedly while ramping b.N).
+	o := Fig12Options{Seed: 1, SNRsdB: []float64{6, 12, 25}, Trials: 8, Reps: 30}
+	engineFig12SerialOnce.Do(func() {
+		serial := o
+		serial.Workers = 1
+		RunFig12(serial) // warm process-wide caches before timing anything
+		const serialRuns = 3
+		start := time.Now()
+		for i := 0; i < serialRuns; i++ {
+			RunFig12(serial)
+		}
+		engineFig12SerialSec = time.Since(start).Seconds() / serialRuns
+	})
+
+	o.Workers = 0 // GOMAXPROCS
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunFig12(o)
+	}
+	parallelSec := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(engineFig12SerialSec/parallelSec, "speedup-x")
 }
 
 func BenchmarkFig13CPSweep(b *testing.B) {
@@ -121,7 +152,7 @@ func BenchmarkTabOverhead(b *testing.B) {
 func BenchmarkDetDelayPremise(b *testing.B) {
 	var pts []DetDelayPoint
 	for i := 0; i < b.N; i++ {
-		pts = RunDetDelay(int64(8+i), []float64{4, 25}, 20)
+		pts = RunDetDelay(int64(8+i), []float64{4, 25}, 20, 0)
 	}
 	b.ReportMetric(pts[0].StdNs, "det-delay-std-ns-4dB")
 	b.ReportMetric(pts[1].StdNs, "det-delay-std-ns-25dB")
@@ -132,7 +163,7 @@ func BenchmarkDetDelayPremise(b *testing.B) {
 func BenchmarkAblationSlopeWindow(b *testing.B) {
 	var res SlopeWindowResult
 	for i := 0; i < b.N; i++ {
-		res = RunAblationSlopeWindow(int64(9+i), 100)
+		res = RunAblationSlopeWindow(int64(9+i), 100, 0)
 	}
 	b.ReportMetric(res.WindowedRMS, "windowed-rms-samples")
 	b.ReportMetric(res.WholeBandRMS, "wholeband-rms-samples")
@@ -141,7 +172,7 @@ func BenchmarkAblationSlopeWindow(b *testing.B) {
 func BenchmarkAblationNaiveCombining(b *testing.B) {
 	var res NaiveCombiningResult
 	for i := 0; i < b.N; i++ {
-		res = RunAblationNaiveCombining(int64(10+i), 8)
+		res = RunAblationNaiveCombining(int64(10+i), 8, 0)
 	}
 	b.ReportMetric(res.STBCWorstSNRdB, "stbc-worst-dB")
 	b.ReportMetric(res.NaiveWorstSNRdB, "naive-worst-dB")
@@ -151,7 +182,7 @@ func BenchmarkAblationNaiveCombining(b *testing.B) {
 func BenchmarkAblationPilotSharing(b *testing.B) {
 	var res PilotSharingResult
 	for i := 0; i < b.N; i++ {
-		res = RunAblationPilotSharing(int64(11+i), 3)
+		res = RunAblationPilotSharing(int64(11+i), 3, 0)
 	}
 	b.ReportMetric(res.SharedPilotsEVM, "shared-evm")
 	b.ReportMetric(res.NaiveTrackEVM, "naive-evm")
@@ -176,7 +207,7 @@ func BenchmarkAblationSoftDecision(b *testing.B) {
 func BenchmarkAblationMultiRxLP(b *testing.B) {
 	var res MultiRxLPResult
 	for i := 0; i < b.N; i++ {
-		res = RunAblationMultiRxLP(int64(12+i), 50, 3)
+		res = RunAblationMultiRxLP(int64(12+i), 50, 3, 0)
 	}
 	b.ReportMetric(res.LPMaxMisalign, "lp-maxmis-samples")
 	b.ReportMetric(res.FirstRxMisalign, "firstrx-maxmis-samples")

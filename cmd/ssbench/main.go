@@ -14,14 +14,27 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	sourcesync "repro"
+	"repro/internal/engine"
 )
 
 var (
-	seed  = flag.Int64("seed", 1, "base random seed")
-	quick = flag.Bool("quick", false, "run shrunken workloads (~10x faster)")
+	seed     = flag.Int64("seed", 1, "base random seed")
+	quick    = flag.Bool("quick", false, "run shrunken workloads (~10x faster)")
+	parallel = flag.Bool("parallel", true, "fan trials out across all CPUs (results are identical either way)")
+	nworkers = flag.Int("workers", 0, "worker count when -parallel (0 = GOMAXPROCS)")
 )
+
+// workers translates the flags into the engine's convention: 1 worker when
+// -parallel=false, otherwise -workers (0 meaning one worker per CPU).
+func workers() int {
+	if !*parallel {
+		return 1
+	}
+	return *nworkers
+}
 
 func main() {
 	flag.Parse()
@@ -29,16 +42,25 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	start := time.Now()
 	for _, exp := range flag.Args() {
 		run(strings.ToLower(exp))
 	}
+	// Timing goes to stderr so stdout stays byte-identical across runs
+	// (the tables are diffed to check worker-count determinism).
+	fmt.Fprintf(os.Stderr, "\ntotal wall clock: %.2fs (%d workers)\n",
+		time.Since(start).Seconds(), engine.WorkerCount(workers()))
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-seed N] [-quick] <fig12|fig13|fig14|fig15|fig16|fig17|fig18|overhead|detdelay|ablations|all>")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] <fig12|fig13|fig14|fig15|fig16|fig17|fig18|overhead|detdelay|ablations|all>")
 }
 
 func run(exp string) {
+	start := time.Now()
+	defer func() {
+		fmt.Fprintf(os.Stderr, "[%s: %.2fs wall clock]\n", exp, time.Since(start).Seconds())
+	}()
 	switch exp {
 	case "fig12":
 		fig12()
@@ -87,6 +109,7 @@ func fig12() {
 	header("Figure 12 — 95th percentile synchronization error vs SNR (WiGLAN profile)")
 	o := sourcesync.DefaultFig12Options()
 	o.Seed = *seed
+	o.Workers = workers()
 	o.Trials = shrink(o.Trials)
 	fmt.Printf("%8s %12s %12s %8s %8s\n", "SNR(dB)", "p50(ns)", "p95(ns)", "usable", "dropped")
 	for _, p := range sourcesync.RunFig12(o) {
@@ -99,6 +122,7 @@ func fig13() {
 	header("Figure 13 — composite SNR vs cyclic prefix: SourceSync vs unsynchronized baseline")
 	o := sourcesync.DefaultFig13Options()
 	o.Seed = *seed + 1
+	o.Workers = workers()
 	o.FramesPerCP = shrink(o.FramesPerCP * 2)
 	fmt.Printf("%10s %10s %14s %14s\n", "CP(ns)", "CP(smp)", "SourceSync(dB)", "Baseline(dB)")
 	for _, p := range sourcesync.RunFig13(o) {
@@ -111,6 +135,7 @@ func fig14() {
 	header("Figure 14 — delay spread of a single sender (|h|^2 vs tap index)")
 	o := sourcesync.DefaultFig14Options()
 	o.Seed = *seed + 2
+	o.Workers = workers()
 	pts := sourcesync.RunFig14(o)
 	fmt.Printf("%6s %10s\n", "tap", "|h|^2")
 	for _, p := range pts {
@@ -125,6 +150,7 @@ func fig15() {
 	header("Figure 15 — power gains: average SNR, single sender vs SourceSync")
 	o := sourcesync.DefaultFig15Options()
 	o.Seed = *seed + 3
+	o.Workers = workers()
 	o.Placements = shrink(o.Placements)
 	fmt.Printf("%8s %14s %14s %10s %6s\n", "regime", "single(dB)", "SourceSync(dB)", "gain(dB)", "n")
 	for _, r := range sourcesync.RunFig15(o) {
@@ -137,6 +163,7 @@ func fig16() {
 	header("Figure 16 — per-subcarrier SNR profiles (frequency diversity)")
 	o := sourcesync.DefaultFig15Options()
 	o.Seed = *seed + 4
+	o.Workers = workers()
 	o.Placements = shrink(o.Placements)
 	for _, s := range sourcesync.RunFig16(o) {
 		fmt.Printf("\n[%s SNR regime]\n%10s %10s %10s %10s\n", s.Regime, "f(MHz)", "snd1(dB)", "snd2(dB)", "joint(dB)")
@@ -153,6 +180,7 @@ func fig17() {
 	header("Figure 17 — last-hop throughput CDF: best single AP vs SourceSync (2 APs)")
 	o := sourcesync.DefaultFig17Options()
 	o.Seed = *seed + 5
+	o.Workers = workers()
 	o.Placements = shrink(o.Placements)
 	o.Packets = shrink(o.Packets)
 	res := sourcesync.RunFig17(o)
@@ -168,6 +196,7 @@ func fig18(mbps int) {
 	header(fmt.Sprintf("Figure 18 — opportunistic routing throughput CDF at %d Mbps", mbps))
 	o := sourcesync.DefaultFig18Options(mbps)
 	o.Seed = *seed + 6
+	o.Workers = workers()
 	o.Topologies = shrink(o.Topologies)
 	o.Packets = shrink(o.Packets)
 	res := sourcesync.RunFig18(o)
@@ -193,7 +222,7 @@ func overhead() {
 
 func detdelay() {
 	header("Premise (§4.2a) — packet detection delay vs SNR")
-	pts := sourcesync.RunDetDelay(*seed+7, []float64{2, 4, 6, 9, 12, 18, 25}, shrink(60))
+	pts := sourcesync.RunDetDelay(*seed+7, []float64{2, 4, 6, 9, 12, 18, 25}, shrink(60), workers())
 	fmt.Printf("%8s %10s %10s %10s %6s %6s\n", "SNR(dB)", "mean(ns)", "std(ns)", "p95(ns)", "det", "miss")
 	for _, p := range pts {
 		fmt.Printf("%8.1f %10.1f %10.1f %10.1f %6d %6d\n", p.SNRdB, p.MeanNs, p.StdNs, p.P95Ns, p.Detected, p.Missed)
@@ -203,22 +232,22 @@ func detdelay() {
 
 func ablations() {
 	header("Ablation — phase-slope window (3 MHz vs whole band)")
-	sw := sourcesync.RunAblationSlopeWindow(*seed+8, shrink(200))
+	sw := sourcesync.RunAblationSlopeWindow(*seed+8, shrink(200), workers())
 	fmt.Printf("windowed RMS %.3f samples, whole-band RMS %.3f samples over %d draws\n",
 		sw.WindowedRMS, sw.WholeBandRMS, sw.Draws)
 
 	header("Ablation — Smart Combiner (STBC) vs naive identical transmission")
-	nc := sourcesync.RunAblationNaiveCombining(*seed+9, shrink(12))
+	nc := sourcesync.RunAblationNaiveCombining(*seed+9, shrink(12), workers())
 	fmt.Printf("worst-case effective SNR: STBC %.1f dB, naive %.1f dB (naive total failures: %d)\n",
 		nc.STBCWorstSNRdB, nc.NaiveWorstSNRdB, nc.NaiveFailures)
 
 	header("Ablation — shared pilots vs single phase track")
-	ps := sourcesync.RunAblationPilotSharing(*seed+10, shrink(6))
+	ps := sourcesync.RunAblationPilotSharing(*seed+10, shrink(6), workers())
 	fmt.Printf("EVM with shared pilots %.4f, with naive tracking %.4f\n",
 		ps.SharedPilotsEVM, ps.NaiveTrackEVM)
 
 	header("Ablation — multi-receiver LP vs aligning at one receiver")
-	lp := sourcesync.RunAblationMultiRxLP(*seed+11, shrink(100), 3)
+	lp := sourcesync.RunAblationMultiRxLP(*seed+11, shrink(100), 3, workers())
 	fmt.Printf("mean worst-case misalignment: LP %.2f samples, first-rx alignment %.2f samples\n",
 		lp.LPMaxMisalign, lp.FirstRxMisalign)
 }

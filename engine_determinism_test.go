@@ -1,0 +1,44 @@
+package sourcesync
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// The engine's reproducibility contract: a figure's output is byte-identical
+// at every worker count, because each trial's RNG derives from (seed, point,
+// trial) rather than from a shared stream.
+
+func TestFig12DeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waveform experiment")
+	}
+	base := Fig12Options{Seed: 1, SNRsdB: []float64{6, 12, 25}, Trials: 10, Reps: 30}
+	render := func(workers int) string {
+		o := base
+		o.Workers = workers
+		return fmt.Sprintf("%#v", RunFig12(o))
+	}
+	serial := render(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := render(workers); got != serial {
+			t.Fatalf("workers=%d output differs from serial:\n%s\nvs\n%s", workers, got, serial)
+		}
+	}
+}
+
+func TestFig17Fig18DeterministicAcrossWorkerCounts(t *testing.T) {
+	o17 := Fig17Options{Seed: 5, Placements: 8, Packets: 100, Payload: 1460}
+	o18 := Fig18Options{Seed: 6, Topologies: 5, Packets: 60, Payload: 1000, RateMbps: 12, Probes: 30}
+	o17.Workers, o18.Workers = 1, 1
+	want17 := fmt.Sprintf("%#v", RunFig17(o17))
+	want18 := fmt.Sprintf("%#v", RunFig18(o18))
+	o17.Workers, o18.Workers = 0, 0
+	if got := fmt.Sprintf("%#v", RunFig17(o17)); got != want17 {
+		t.Fatalf("Fig17 parallel output differs from serial")
+	}
+	if got := fmt.Sprintf("%#v", RunFig18(o18)); got != want18 {
+		t.Fatalf("Fig18 parallel output differs from serial")
+	}
+}

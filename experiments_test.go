@@ -150,7 +150,7 @@ func TestOverheadTable(t *testing.T) {
 }
 
 func TestDetDelayPremise(t *testing.T) {
-	pts := RunDetDelay(7, []float64{4, 25}, 25)
+	pts := RunDetDelay(1, []float64{4, 25}, 25, 0)
 	low, high := pts[0], pts[1]
 	if low.Detected < 15 || high.Detected < 23 {
 		t.Fatalf("detections: low %d high %d", low.Detected, high.Detected)
@@ -166,9 +166,12 @@ func TestDetDelayPremise(t *testing.T) {
 }
 
 func TestAblationSlopeWindow(t *testing.T) {
-	res := RunAblationSlopeWindow(8, 150)
-	if res.WindowedRMS <= 0 || res.WholeBandRMS <= 0 {
-		t.Fatal("degenerate ablation")
+	res := RunAblationSlopeWindow(1, 150, 0)
+	// The whole-band fit's unwrap errors are rare events; a run where no
+	// draw hits one leaves both RMS values at machine epsilon and the
+	// comparison below would be noise. Require a real signal.
+	if res.WindowedRMS <= 0 || res.WholeBandRMS <= 1e-6 {
+		t.Fatalf("degenerate ablation: windowed %.3g whole-band %.3g", res.WindowedRMS, res.WholeBandRMS)
 	}
 	// The windowed fit must not be worse than the whole-band fit.
 	if res.WindowedRMS > res.WholeBandRMS*1.05 {
@@ -180,7 +183,7 @@ func TestAblationNaiveCombining(t *testing.T) {
 	if testing.Short() {
 		t.Skip("waveform experiment")
 	}
-	res := RunAblationNaiveCombining(9, 8)
+	res := RunAblationNaiveCombining(9, 8, 0)
 	if math.IsInf(res.STBCWorstSNRdB, 1) {
 		t.Fatal("no STBC frames measured")
 	}
@@ -198,7 +201,7 @@ func TestAblationPilotSharing(t *testing.T) {
 	if testing.Short() {
 		t.Skip("waveform experiment")
 	}
-	res := RunAblationPilotSharing(10, 4)
+	res := RunAblationPilotSharing(10, 4, 0)
 	if res.SharedPilotsEVM <= 0 || res.NaiveTrackEVM <= 0 {
 		t.Fatalf("EVMs %.4f %.4f", res.SharedPilotsEVM, res.NaiveTrackEVM)
 	}
@@ -209,7 +212,7 @@ func TestAblationPilotSharing(t *testing.T) {
 }
 
 func TestAblationMultiRxLP(t *testing.T) {
-	res := RunAblationMultiRxLP(11, 60, 3)
+	res := RunAblationMultiRxLP(11, 60, 3, 0)
 	if res.LPMaxMisalign <= 0 {
 		t.Fatal("LP produced zero misalignment on random configs")
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/dsp"
+	"repro/internal/engine"
 	"repro/internal/modem"
 	"repro/internal/phy"
 )
@@ -20,6 +21,9 @@ type Fig12Options struct {
 	SNRsdB []float64 // per-sender SNR operating points
 	Trials int       // frames per SNR point
 	Reps   int       // training repetitions per calibration frame
+	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
+	// 1 runs serially. Results are identical either way.
+	Workers int
 }
 
 // DefaultFig12Options returns the parameters used by ssbench.
@@ -41,32 +45,45 @@ type Fig12Point struct {
 	Dropped int
 }
 
+// fig12Trial is one calibration frame's outcome.
+type fig12Trial struct {
+	errNs float64
+	ok    bool
+}
+
 // RunFig12 regenerates Figure 12: 95th-percentile synchronization error
-// versus SNR on the WiGLAN-like profile.
+// versus SNR on the WiGLAN-like profile. Trials fan out across the engine's
+// worker pool; each draws its RNG from (Seed, SNR index, trial index), so
+// the output is identical at every worker count.
 func RunFig12(o Fig12Options) []Fig12Point {
 	cfg := ProfileWiGLAN()
-	rng := rand.New(rand.NewSource(o.Seed))
 	nsToSample := cfg.SampleRateHz / 1e9
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+
+	grid := engine.Grid(ec, len(o.SNRsdB), o.Trials, func(pt, trial int, rng *rand.Rand) fig12Trial {
+		sim := fig12Sim(rng, cfg, o.SNRsdB[pt])
+		run, err := sim.RunCalibration(o.Reps)
+		if err != nil || !run.CoJoined[0] {
+			return fig12Trial{}
+		}
+		rx := &phy.JointReceiver{Cfg: cfg, FFTBackoff: 3}
+		res, err := rx.ReceiveCalibration(sim.P, run.RxWave, 0, o.Reps)
+		if err != nil {
+			return fig12Trial{}
+		}
+		return fig12Trial{errNs: math.Abs(res.SingleShot-res.GroundTruth) / nsToSample, ok: true}
+	})
 
 	var out []Fig12Point
-	for _, snr := range o.SNRsdB {
+	for i, snr := range o.SNRsdB {
 		var errsNs []float64
 		dropped := 0
-		for trial := 0; trial < o.Trials; trial++ {
-			sim := fig12Sim(rng, cfg, snr)
-			run, err := sim.RunCalibration(o.Reps)
-			if err != nil || !run.CoJoined[0] {
+		for _, tr := range grid[i] {
+			if tr.ok {
+				errsNs = append(errsNs, tr.errNs)
+			} else {
 				dropped++
-				continue
 			}
-			rx := &phy.JointReceiver{Cfg: cfg, FFTBackoff: 3}
-			res, err := rx.ReceiveCalibration(sim.P, run.RxWave, 0, o.Reps)
-			if err != nil {
-				dropped++
-				continue
-			}
-			e := math.Abs(res.SingleShot-res.GroundTruth) / nsToSample
-			errsNs = append(errsNs, e)
 		}
 		pt := Fig12Point{SNRdB: snr, Usable: len(errsNs), Dropped: dropped}
 		if len(errsNs) > 0 {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/dsp"
+	"repro/internal/engine"
 	"repro/internal/modem"
 	"repro/internal/phy"
 )
@@ -20,6 +21,9 @@ type Fig13Options struct {
 	CPsNs       []float64
 	FramesPerCP int
 	SNRdB       float64
+	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
+	// 1 runs serially. Results are identical either way.
+	Workers int
 }
 
 // DefaultFig13Options returns the parameters used by ssbench.
@@ -38,37 +42,34 @@ type Fig13Point struct {
 	BaselineFail   int
 }
 
-// RunFig13 regenerates Figure 13: composite SNR versus cyclic prefix for
-// SourceSync and the unsynchronized baseline on the WiGLAN-like profile.
-func RunFig13(o Fig13Options) []Fig13Point {
-	cfg := ProfileWiGLAN()
-	rng := rand.New(rand.NewSource(o.Seed))
-	var out []Fig13Point
-	for _, cpNs := range o.CPsNs {
-		cp := int(cpNs * 1e-9 * cfg.SampleRateHz)
-		ss, ssFail := fig13SNR(rng, cfg, cp, o.FramesPerCP, o.SNRdB, false)
-		bl, blFail := fig13SNR(rng, cfg, cp, o.FramesPerCP, o.SNRdB, true)
-		out = append(out, Fig13Point{
-			CPNs: cpNs, CPSamples: cp,
-			SourceSyncSNR: ss, BaselineSNR: bl,
-			SourceSyncFail: ssFail, BaselineFail: blFail,
-		})
-	}
-	return out
+// fig13Trial is one joint frame's EVM outcome.
+type fig13Trial struct {
+	invEVM float64
+	ok     bool
 }
 
-// fig13SNR measures the mean EVM-derived SNR over several frames.
-func fig13SNR(rng *rand.Rand, cfg *Config, cp, frames int, snrDB float64, baseline bool) (snr float64, failures int) {
-	var linSum float64
-	var n int
-	for f := 0; f < frames; f++ {
-		sim := fig13Sim(rng, cfg, cp, snrDB, baseline)
+// RunFig13 regenerates Figure 13: composite SNR versus cyclic prefix for
+// SourceSync and the unsynchronized baseline on the WiGLAN-like profile.
+// Each CP point runs 2*FramesPerCP trials on the engine — the first
+// FramesPerCP with SourceSync's compensation, the rest with the baseline —
+// so both arms parallelize together and remain deterministic.
+func RunFig13(o Fig13Options) []Fig13Point {
+	cfg := ProfileWiGLAN()
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	cpSamples := make([]int, len(o.CPsNs))
+	for i, cpNs := range o.CPsNs {
+		cpSamples[i] = int(cpNs * 1e-9 * cfg.SampleRateHz)
+	}
+
+	grid := engine.Grid(ec, len(o.CPsNs), 2*o.FramesPerCP, func(pt, trial int, rng *rand.Rand) fig13Trial {
+		baseline := trial >= o.FramesPerCP
+		cp := cpSamples[pt]
+		sim := fig13Sim(rng, cfg, cp, o.SNRdB, baseline)
 		payload := make([]byte, sim.P.PayloadLen)
 		rng.Read(payload)
 		run, err := sim.Run(payload)
 		if err != nil || !run.CoJoined[0] {
-			failures++
-			continue
+			return fig13Trial{}
 		}
 		backoff := 3
 		if cp < 3 {
@@ -77,16 +78,40 @@ func fig13SNR(rng *rand.Rand, cfg *Config, cp, frames int, snrDB float64, baseli
 		rx := &phy.JointReceiver{Cfg: cfg, FFTBackoff: backoff}
 		res, err := rx.Receive(run.RxWave, 0)
 		if err != nil || res.EVM <= 0 {
-			failures++
-			continue
+			return fig13Trial{}
 		}
-		linSum += 1 / res.EVM
-		n++
+		return fig13Trial{invEVM: 1 / res.EVM, ok: true}
+	})
+
+	var out []Fig13Point
+	for i, cpNs := range o.CPsNs {
+		pt := Fig13Point{CPNs: cpNs, CPSamples: cpSamples[i]}
+		var ssSum, blSum float64
+		var ssN, blN int
+		for trial, r := range grid[i] {
+			baseline := trial >= o.FramesPerCP
+			switch {
+			case !r.ok && baseline:
+				pt.BaselineFail++
+			case !r.ok:
+				pt.SourceSyncFail++
+			case baseline:
+				blSum += r.invEVM
+				blN++
+			default:
+				ssSum += r.invEVM
+				ssN++
+			}
+		}
+		if ssN > 0 {
+			pt.SourceSyncSNR = dsp.DB(ssSum / float64(ssN))
+		}
+		if blN > 0 {
+			pt.BaselineSNR = dsp.DB(blSum / float64(blN))
+		}
+		out = append(out, pt)
 	}
-	if n == 0 {
-		return 0, failures
-	}
-	return dsp.DB(linSum / float64(n)), failures
+	return out
 }
 
 // fig13Sim builds a LOS pair with identical hardware; only propagation and

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/dsp"
+	"repro/internal/engine"
 	"repro/internal/modem"
 	"repro/internal/phy"
 	"repro/internal/testbed"
@@ -19,6 +20,9 @@ type Fig14Options struct {
 	Seed  int64
 	Draws int // channel realizations averaged
 	Taps  int // number of tap indices reported
+	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
+	// 1 runs serially. Results are identical either way.
+	Workers int
 }
 
 // DefaultFig14Options returns the parameters used by ssbench.
@@ -35,14 +39,22 @@ type Fig14Point struct {
 // ~15 significant taps (117 ns at 128 MHz).
 func RunFig14(o Fig14Options) []Fig14Point {
 	cfg := ProfileWiGLAN()
-	rng := rand.New(rand.NewSource(o.Seed))
-	acc := make([]float64, o.Taps)
-	for d := 0; d < o.Draws; d++ {
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	draws := engine.Map(ec, 0, o.Draws, func(d int, rng *rand.Rand) []float64 {
 		m := channel.NewIndoor(rng, cfg.SampleRateHz, 45, 3)
+		tap := make([]float64, o.Taps)
 		for i, p := range m.PowerDelayProfile() {
 			if i < o.Taps {
-				acc[i] += p
+				tap[i] = p
 			}
+		}
+		return tap
+	})
+	// Accumulate in draw order so the float sum is worker-count independent.
+	acc := make([]float64, o.Taps)
+	for _, tap := range draws {
+		for i, p := range tap {
+			acc[i] += p
 		}
 	}
 	norm := acc[0] / float64(o.Draws)
@@ -78,6 +90,9 @@ type Fig15Options struct {
 	Seed       int64
 	Placements int // random transmitter-pair placements
 	Frames     int // joint frames per placement
+	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
+	// 1 runs serially. Results are identical either way.
+	Workers int
 }
 
 // DefaultFig15Options returns the parameters used by ssbench.
@@ -208,25 +223,40 @@ func RunFig16(o Fig15Options) []Fig16Series {
 	return out
 }
 
-// fig15Measure runs the underlying placements for Figs. 15 and 16.
+// fig15Measure runs the underlying placements for Figs. 15 and 16: a grid
+// of placements x frames on the engine. The per-placement SNR draw comes
+// from the placement's PointRNG so every frame of a placement agrees on it.
 func fig15Measure(o Fig15Options) []fig15Sample {
 	cfg := ProfileWiGLAN()
-	rng := rand.New(rand.NewSource(o.Seed))
-	var out []fig15Sample
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	type frameRes struct {
+		s  fig15Sample
+		ok bool
+	}
+	// Sweep the operating point so all regimes are populated; both senders
+	// within a couple dB of each other, as in a placed pair. The sweep is
+	// in per-sample SNR; the per-subcarrier SNR the receiver measures sits
+	// ~8 dB higher on this profile (the signal occupies 20 of 128 bins),
+	// so the range below covers the paper's <6 / 6-12 / >12 dB regimes.
+	// Each placement's SNR pair comes from its PointRNG so all its frames
+	// agree on it; precomputed here rather than redrawn per frame.
+	snr1 := make([]float64, o.Placements)
+	snr2 := make([]float64, o.Placements)
 	for pl := 0; pl < o.Placements; pl++ {
-		// Sweep the operating point so all regimes are populated; both
-		// senders within a couple dB of each other, as in a placed pair.
-		// The sweep is in per-sample SNR; the per-subcarrier SNR the
-		// receiver measures sits ~8 dB higher on this profile (the signal
-		// occupies 20 of 128 bins), so the range below covers the paper's
-		// <6 / 6-12 / >12 dB regimes.
+		prng := engine.PointRNG(o.Seed, pl)
 		base := -14 + 24*float64(pl)/float64(o.Placements)
-		snr1 := base + rng.Float64()*2 - 1
-		snr2 := base + rng.Float64()*2 - 1
-		for f := 0; f < o.Frames; f++ {
-			s, ok := fig15Frame(rng, cfg, snr1, snr2)
-			if ok {
-				out = append(out, s)
+		snr1[pl] = base + prng.Float64()*2 - 1
+		snr2[pl] = base + prng.Float64()*2 - 1
+	}
+	grid := engine.Grid(ec, o.Placements, o.Frames, func(pl, f int, rng *rand.Rand) frameRes {
+		s, ok := fig15Frame(rng, cfg, snr1[pl], snr2[pl])
+		return frameRes{s, ok}
+	})
+	var out []fig15Sample
+	for _, row := range grid {
+		for _, r := range row {
+			if r.ok {
+				out = append(out, r.s)
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/dsp"
+	"repro/internal/engine"
 	"repro/internal/exor"
 	"repro/internal/lasthop"
 	"repro/internal/mac"
@@ -20,6 +21,9 @@ type Fig17Options struct {
 	Placements int // random AP/AP/client placements
 	Packets    int // downlink packets per run
 	Payload    int
+	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
+	// 1 runs serially. Results are identical either way.
+	Workers int
 }
 
 // DefaultFig17Options returns the parameters used by ssbench.
@@ -39,12 +43,11 @@ type Fig17Result struct {
 func RunFig17(o Fig17Options) Fig17Result {
 	cfg := Profile80211()
 	env := testbed.Mesh(cfg)
-	rng := rand.New(rand.NewSource(o.Seed))
 	m := mac.Default(cfg)
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
 
-	var singles, joints []float64
-	var gains []float64
-	for pl := 0; pl < o.Placements; pl++ {
+	type plRes struct{ singleBps, jointBps float64 }
+	rows := engine.Map(ec, 0, o.Placements, func(pl int, rng *rand.Rand) plRes {
 		client := env.RandomPoint(rng)
 		// Two APs with usable-but-not-saturated links, per the paper's
 		// motivation (clients with poor connectivity to multiple nearby
@@ -62,10 +65,15 @@ func RunFig17(o Fig17Options) Fig17Result {
 		}
 		single := c.RunBestSingleAP(rand.New(rand.NewSource(rng.Int63())))
 		joint := c.RunJoint(rand.New(rand.NewSource(rng.Int63())))
-		singles = append(singles, single.ThroughputBps/1e6)
-		joints = append(joints, joint.ThroughputBps/1e6)
-		if single.ThroughputBps > 0 {
-			gains = append(gains, joint.ThroughputBps/single.ThroughputBps)
+		return plRes{single.ThroughputBps, joint.ThroughputBps}
+	})
+
+	var singles, joints, gains []float64
+	for _, r := range rows {
+		singles = append(singles, r.singleBps/1e6)
+		joints = append(joints, r.jointBps/1e6)
+		if r.singleBps > 0 {
+			gains = append(gains, r.jointBps/r.singleBps)
 		}
 	}
 	sortFloats(singles)
@@ -102,6 +110,9 @@ type Fig18Options struct {
 	// rate). Zero selects a per-rate default: the more robust 6 Mbps rate
 	// needs a wider mesh to see the same loss rates.
 	SpanScale float64
+	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
+	// 1 runs serially. Results are identical either way.
+	Workers int
 }
 
 // DefaultFig18Options returns the parameters used by ssbench.
@@ -139,31 +150,36 @@ func RunFig18(o Fig18Options) Fig18Result {
 		}
 	}
 	env.Width *= scale
-	rng := rand.New(rand.NewSource(o.Seed))
 	rate, err := modem.RateByMbps(o.RateMbps)
 	if err != nil {
 		panic(err)
 	}
 	m := mac.Default(cfg)
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
 
-	res := Fig18Result{RateMbps: o.RateMbps}
-	var gEx, gSS, gSSsp []float64
-	for tp := 0; tp < o.Topologies; tp++ {
+	type tpRes struct{ spBps, exBps, ssBps float64 }
+	rows := engine.Map(ec, 0, o.Topologies, func(tp int, rng *rand.Rand) tpRes {
 		topo := randomMeshTopology(rng, env)
 		meas := topo.Measure(rng, rate, o.Payload, o.Probes, 0.1)
 		sim := &exor.Sim{Topo: topo, Meas: meas, Mac: m, Rate: rate, Payload: o.Payload}
 		sp := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.SinglePath, o.Packets)
 		ex := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.ExOR, o.Packets)
 		ss := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.ExORSourceSync, o.Packets)
-		res.SinglePathMbps = append(res.SinglePathMbps, sp.ThroughputBps/1e6)
-		res.ExORMbps = append(res.ExORMbps, ex.ThroughputBps/1e6)
-		res.SourceSyncMbps = append(res.SourceSyncMbps, ss.ThroughputBps/1e6)
-		if sp.ThroughputBps > 0 {
-			gEx = append(gEx, ex.ThroughputBps/sp.ThroughputBps)
-			gSSsp = append(gSSsp, ss.ThroughputBps/sp.ThroughputBps)
+		return tpRes{sp.ThroughputBps, ex.ThroughputBps, ss.ThroughputBps}
+	})
+
+	res := Fig18Result{RateMbps: o.RateMbps}
+	var gEx, gSS, gSSsp []float64
+	for _, r := range rows {
+		res.SinglePathMbps = append(res.SinglePathMbps, r.spBps/1e6)
+		res.ExORMbps = append(res.ExORMbps, r.exBps/1e6)
+		res.SourceSyncMbps = append(res.SourceSyncMbps, r.ssBps/1e6)
+		if r.spBps > 0 {
+			gEx = append(gEx, r.exBps/r.spBps)
+			gSSsp = append(gSSsp, r.ssBps/r.spBps)
 		}
-		if ex.ThroughputBps > 0 {
-			gSS = append(gSS, ss.ThroughputBps/ex.ThroughputBps)
+		if r.exBps > 0 {
+			gSS = append(gSS, r.ssBps/r.exBps)
 		}
 	}
 	sortFloats(res.SinglePathMbps)

@@ -1,0 +1,142 @@
+// Package engine is a deterministic parallel trial scheduler for the
+// experiment runners in the root package.
+//
+// Every §8 experiment is a grid of independent trials: an outer sweep over
+// operating points (an SNR, a cyclic-prefix value, a random placement) and
+// an inner loop of trials per point. The engine fans those trials out
+// across a worker pool while keeping the output bit-identical to a serial
+// run:
+//
+//   - Each trial receives its own *rand.Rand seeded by a splitmix64-style
+//     hash of (base seed, point index, trial index) — see TrialSeed. No RNG
+//     state is shared between trials, so the random stream a trial consumes
+//     does not depend on which worker ran it, on scheduling order, or on
+//     the worker count.
+//   - Results land in a slice indexed by (point, trial), so reductions see
+//     trial order, never completion order. Floating-point accumulation in
+//     the callers therefore sums in a fixed order too.
+//
+// The zero Config runs with seed 0 and a full-width pool: Workers <= 0
+// selects one worker per logical CPU (GOMAXPROCS). Workers == 1 forces the
+// serial path, which runs the trial function inline on the calling
+// goroutine.
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config selects the base seed and the degree of parallelism for a run.
+type Config struct {
+	Seed    int64
+	Workers int // <= 0: GOMAXPROCS, 1: serial, n: exactly n workers
+}
+
+// WorkerCount resolves a Workers setting to the actual pool size: values
+// above zero are taken literally, anything else means one worker per CPU.
+// Exported so callers reporting parallelism (e.g. ssbench's wall-clock
+// summary) stay in sync with what the engine really uses.
+func WorkerCount(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) workerCount() int { return WorkerCount(c.Workers) }
+
+// splitmix64 is the finalizer of the SplitMix64 generator (Steele et al.,
+// "Fast splittable pseudorandom number generators"): an invertible
+// avalanche mix, so distinct inputs give statistically independent outputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TrialSeed derives the RNG seed for one trial from the experiment's base
+// seed, the operating-point index, and the trial index within that point.
+// The three values are chained through splitmix64 so that neighboring
+// (point, trial) pairs produce unrelated streams.
+func TrialSeed(seed int64, point, trial int) int64 {
+	h := splitmix64(uint64(seed))
+	h = splitmix64(h ^ uint64(int64(point)))
+	h = splitmix64(h ^ uint64(int64(trial)))
+	return int64(h)
+}
+
+// TrialRNG returns a fresh rand.Rand for one trial, seeded by TrialSeed.
+func TrialRNG(seed int64, point, trial int) *rand.Rand {
+	return rand.New(rand.NewSource(TrialSeed(seed, point, trial)))
+}
+
+// PointRNG returns a rand.Rand scoped to a whole operating point (trial
+// index -1), for values every trial of the point must agree on — e.g. a
+// placement's SNR draw shared by all its frames.
+func PointRNG(seed int64, point int) *rand.Rand {
+	return TrialRNG(seed, point, -1)
+}
+
+// run executes fn(0..n-1) across the given number of workers. Tasks are
+// handed out through an atomic counter, so long trials do not serialize
+// behind a fixed pre-partition.
+func run(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs n trials of one operating point and returns their results in
+// trial order. Each trial gets an independent RNG from TrialRNG(c.Seed,
+// point, trial), so the output is identical for every worker count.
+func Map[T any](c Config, point, n int, fn func(trial int, rng *rand.Rand) T) []T {
+	out := make([]T, n)
+	run(c.workerCount(), n, func(i int) {
+		out[i] = fn(i, TrialRNG(c.Seed, point, i))
+	})
+	return out
+}
+
+// Grid runs the full points x trials cross product and returns results as
+// out[point][trial]. All points' trials share one worker pool, so a sweep
+// with few trials per point still saturates the machine.
+func Grid[T any](c Config, points, trials int, fn func(point, trial int, rng *rand.Rand) T) [][]T {
+	out := make([][]T, points)
+	for p := range out {
+		out[p] = make([]T, trials)
+	}
+	run(c.workerCount(), points*trials, func(i int) {
+		p, t := i/trials, i%trials
+		out[p][t] = fn(p, t, TrialRNG(c.Seed, p, t))
+	})
+	return out
+}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func TestTrialSeedStableAndDistinct(t *testing.T) {
+	if TrialSeed(1, 0, 0) != TrialSeed(1, 0, 0) {
+		t.Fatal("TrialSeed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 3; seed++ {
+		for p := 0; p < 20; p++ {
+			for tr := -1; tr < 20; tr++ {
+				s := TrialSeed(seed, p, tr)
+				if seen[s] {
+					t.Fatalf("collision at seed=%d point=%d trial=%d", seed, p, tr)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+func TestPointRNGIndependentOfTrial(t *testing.T) {
+	if PointRNG(7, 3).Int63() != PointRNG(7, 3).Int63() {
+		t.Fatal("PointRNG not reproducible")
+	}
+	if PointRNG(7, 3).Int63() == TrialRNG(7, 3, 0).Int63() {
+		t.Fatal("PointRNG collides with trial 0's stream")
+	}
+}
+
+func TestMapOrderAndWorkerIndependence(t *testing.T) {
+	fn := func(trial int, rng *rand.Rand) float64 {
+		return float64(trial) + rng.Float64()
+	}
+	want := Map(Config{Seed: 42, Workers: 1}, 5, 100, fn)
+	for _, workers := range []int{2, 4, 7, runtime.GOMAXPROCS(0)} {
+		got := Map(Config{Seed: 42, Workers: workers}, 5, 100, fn)
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d = %v, serial %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGridShapeAndDeterminism(t *testing.T) {
+	fn := func(p, tr int, rng *rand.Rand) int64 {
+		return int64(p*1000+tr) ^ rng.Int63()
+	}
+	mk := func(workers int) [][]int64 {
+		return Grid(Config{Seed: 9, Workers: workers}, 7, 13, fn)
+	}
+	serial := mk(1)
+	if len(serial) != 7 || len(serial[0]) != 13 {
+		t.Fatalf("grid shape %dx%d", len(serial), len(serial[0]))
+	}
+	for _, workers := range []int{2, 3, runtime.GOMAXPROCS(0)} {
+		got := mk(workers)
+		for p := range serial {
+			for tr := range serial[p] {
+				if got[p][tr] != serial[p][tr] {
+					t.Fatalf("workers=%d: [%d][%d] differs", workers, p, tr)
+				}
+			}
+		}
+	}
+}
+
+func TestRunHandlesEmptyAndSmall(t *testing.T) {
+	if got := Map(Config{}, 0, 0, func(int, *rand.Rand) int { return 1 }); len(got) != 0 {
+		t.Fatal("n=0 should return empty")
+	}
+	// More workers than tasks must not deadlock or drop tasks.
+	got := Map(Config{Workers: 64}, 0, 3, func(trial int, _ *rand.Rand) int { return trial })
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("small map: %v", got)
+	}
+}

@@ -30,6 +30,21 @@
 // pieces examples need. Each experiment takes an options struct with a
 // deterministic seed and returns typed results; the cmd/ssbench binary and
 // the repository-root benchmarks print them.
+//
+// # Parallel experiment engine
+//
+// The runners execute their trials on internal/engine, a deterministic
+// parallel scheduler: a worker pool sized to GOMAXPROCS fans independent
+// trials out across goroutines, and every trial draws its math/rand stream
+// from a splitmix64-style hash of (base seed, operating-point index, trial
+// index) rather than from a shared generator. Because no RNG state crosses
+// trial boundaries and results are reduced in trial order, an experiment's
+// output is byte-identical at every worker count — including the serial
+// Workers: 1 path.
+//
+// Each options struct carries a Workers field (0 = one worker per CPU,
+// 1 = serial); cmd/ssbench exposes it as -parallel (default on) and
+// -workers, and reports per-experiment wall clock so speedups are visible.
 package sourcesync
 
 import (
