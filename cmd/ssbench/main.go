@@ -5,8 +5,8 @@
 //
 //	ssbench [flags] <experiment>
 //
-// Experiments: fig12 fig13 fig14 fig15 fig16 fig17 fig18 overhead detdelay
-// ablations all
+// Experiments: fig12 fig13 fig14 fig15 fig16 fig17 fig18 cell crosstraffic
+// overhead detdelay ablations all
 package main
 
 import (
@@ -53,7 +53,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] <fig12|fig13|fig14|fig15|fig16|fig17|fig18|overhead|detdelay|ablations|all>")
+	fmt.Fprintln(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] <fig12|fig13|fig14|fig15|fig16|fig17|fig18|cell|crosstraffic|overhead|detdelay|ablations|all>")
 }
 
 func run(exp string) {
@@ -77,6 +77,10 @@ func run(exp string) {
 	case "fig18":
 		fig18(6)
 		fig18(12)
+	case "cell":
+		cell()
+	case "crosstraffic":
+		crosstraffic()
 	case "overhead":
 		overhead()
 	case "detdelay":
@@ -84,7 +88,7 @@ func run(exp string) {
 	case "ablations":
 		ablations()
 	case "all":
-		for _, e := range []string{"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "overhead", "detdelay", "ablations"} {
+		for _, e := range []string{"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "cell", "crosstraffic", "overhead", "detdelay", "ablations"} {
 			run(e)
 		}
 	default:
@@ -209,6 +213,45 @@ func fig18(mbps int) {
 	fmt.Printf("median gains: ExOR/single %.2fx, SrcSync/ExOR %.2fx, SrcSync/single %.2fx\n",
 		res.GainExOROverSP, res.GainSSOverExOR, res.GainSSOverSP)
 	fmt.Println("paper: ExOR 1.26-1.4x over single path; SourceSync 1.35-1.45x over ExOR; 1.7-2x overall")
+}
+
+func cell() {
+	header("Cell — multi-client WLAN aggregate throughput: best single AP vs SourceSync")
+	o := sourcesync.DefaultCellOptions()
+	o.Seed = *seed + 8
+	o.Workers = workers()
+	o.Placements = shrink(o.Placements)
+	o.Packets = shrink(o.Packets)
+	res := sourcesync.RunCell(o)
+	fmt.Printf("clients=%d APs=%d packets/client=%d\n", o.Clients, o.APs, o.Packets)
+	fmt.Printf("%10s %14s %14s\n", "fraction", "single(Mbps)", "joint(Mbps)")
+	n := len(res.SingleAggMbps)
+	for i := 0; i < n; i++ {
+		fmt.Printf("%10.3f %14.2f %14.2f\n", float64(i+1)/float64(n), res.SingleAggMbps[i], res.JointAggMbps[i])
+	}
+	fmt.Printf("median aggregate gain: %.2fx; collision rate %.3f of acquisitions\n",
+		res.MedianGain, res.MeanCollisionRate)
+}
+
+func crosstraffic() {
+	header("Cross-traffic — routed mesh flow contending with relay-to-relay flows")
+	o := sourcesync.DefaultCrossTrafficOptions()
+	o.Seed = *seed + 9
+	o.Workers = workers()
+	o.Topologies = shrink(o.Topologies)
+	o.Packets = shrink(o.Packets)
+	o.CrossPackets = shrink(o.CrossPackets)
+	res := sourcesync.RunCrossTraffic(o)
+	fmt.Printf("%d cross flows x %d packets at %d Mbps\n", o.CrossFlows, o.CrossPackets, o.RateMbps)
+	fmt.Printf("%10s %12s %12s %12s %12s\n", "fraction", "sp(Mbps)", "sp+load", "ss(Mbps)", "ss+load")
+	n := len(res.SinglePathAloneMbps)
+	for i := 0; i < n; i++ {
+		fmt.Printf("%10.3f %12.3f %12.3f %12.3f %12.3f\n", float64(i+1)/float64(n),
+			res.SinglePathAloneMbps[i], res.SinglePathLoadedMbps[i],
+			res.SourceSyncAloneMbps[i], res.SourceSyncLoadedMbps[i])
+	}
+	fmt.Printf("median retention under load: single-path %.2f, SourceSync %.2f; SrcSync/single under load %.2fx\n",
+		res.SinglePathRetention, res.SourceSyncRetention, res.GainUnderLoad)
 }
 
 func overhead() {

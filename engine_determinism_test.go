@@ -28,6 +28,55 @@ func TestFig12DeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestFig13DeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waveform experiment")
+	}
+	base := Fig13Options{Seed: 2, CPsNs: []float64{0, 156, 469}, FramesPerCP: 3, SNRdB: 25}
+	render := func(workers int) string {
+		o := base
+		o.Workers = workers
+		return fmt.Sprintf("%#v", RunFig13(o))
+	}
+	serial := render(1)
+	if got := render(4); got != serial {
+		t.Fatalf("workers=4 output differs from serial:\n%s\nvs\n%s", got, serial)
+	}
+}
+
+func TestFig14Fig15Fig16DeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waveform experiment")
+	}
+	o14 := Fig14Options{Seed: 3, Draws: 40, Taps: 30}
+	o15 := Fig15Options{Seed: 4, Placements: 8, Frames: 2}
+	render := func(workers int) string {
+		a, b := o14, o15
+		a.Workers, b.Workers = workers, workers
+		return fmt.Sprintf("%#v|%#v|%#v", RunFig14(a), RunFig15(b), RunFig16(b))
+	}
+	serial := render(1)
+	if got := render(4); got != serial {
+		t.Fatal("fig14-16 parallel output differs from serial")
+	}
+}
+
+func TestCellCrossTrafficDeterministicAcrossWorkerCounts(t *testing.T) {
+	oc := CellOptions{Seed: 9, Placements: 4, Clients: 8, APs: 2, Packets: 40, Payload: 1460}
+	ox := CrossTrafficOptions{Seed: 10, Topologies: 3, Packets: 40, CrossFlows: 2,
+		CrossPackets: 50, Payload: 1000, RateMbps: 12, Probes: 30}
+	oc.Workers, ox.Workers = 1, 1
+	wantC := fmt.Sprintf("%#v", RunCell(oc))
+	wantX := fmt.Sprintf("%#v", RunCrossTraffic(ox))
+	oc.Workers, ox.Workers = 4, 4
+	if got := fmt.Sprintf("%#v", RunCell(oc)); got != wantC {
+		t.Fatalf("cell parallel output differs from serial")
+	}
+	if got := fmt.Sprintf("%#v", RunCrossTraffic(ox)); got != wantX {
+		t.Fatalf("crosstraffic parallel output differs from serial")
+	}
+}
+
 func TestFig17Fig18DeterministicAcrossWorkerCounts(t *testing.T) {
 	o17 := Fig17Options{Seed: 5, Placements: 8, Packets: 100, Payload: 1460}
 	o18 := Fig18Options{Seed: 6, Topologies: 5, Packets: 60, Payload: 1000, RateMbps: 12, Probes: 30}

@@ -311,10 +311,18 @@ func fig15Frame(rng *rand.Rand, cfg *Config, snr1, snr2 float64) (fig15Sample, b
 	s1 := res.SenderSNR(0)
 	s2 := res.SenderSNR(1)
 	j := res.CompositeSNR()
+	// Sum in sorted bin order: ranging over the map directly would add the
+	// floats in randomized iteration order and perturb the last ulp from
+	// run to run, breaking the byte-identical-output guarantee.
 	avg := func(m map[int]float64) float64 {
+		ks := make([]int, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
 		var lin float64
-		for _, v := range m {
-			lin += v
+		for _, k := range ks {
+			lin += m[k]
 		}
 		return dsp.DB(lin / float64(len(m)))
 	}

@@ -86,13 +86,13 @@ func RunFig17(o Fig17Options) Fig17Result {
 }
 
 // nearbyPoint draws a point between minDist and maxDist meters of ref.
+// Attempts are bounded: an unsatisfiable annulus (e.g. a reference off the
+// floor) panics instead of spinning forever.
 func nearbyPoint(rng *rand.Rand, env *testbed.Testbed, ref testbed.Point, minDist, maxDist float64) testbed.Point {
-	for {
-		p := env.RandomPoint(rng)
-		if d := testbed.Dist(p, ref); d <= maxDist && d >= minDist {
-			return p
-		}
-	}
+	return env.RandomPointWhere(rng, 100000, func(p testbed.Point) bool {
+		d := testbed.Dist(p, ref)
+		return d >= minDist && d <= maxDist
+	})
 }
 
 // ---------------------------------------------------------------- Fig. 18

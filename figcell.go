@@ -1,0 +1,238 @@
+package sourcesync
+
+import (
+	"math/rand"
+
+	"repro/internal/dsp"
+	"repro/internal/engine"
+	"repro/internal/exor"
+	"repro/internal/lasthop"
+	"repro/internal/mac"
+	"repro/internal/modem"
+	"repro/internal/testbed"
+)
+
+// ----------------------------------------------------------------- cell
+
+// CellOptions configures the multi-client WLAN cell experiment — §8.3
+// scaled beyond the paper's single client: N clients with backlogged
+// downlink traffic from M APs, all contending for one medium through
+// internal/netsim.
+type CellOptions struct {
+	Seed       int64
+	Placements int // random AP/client placements
+	Clients    int // N clients sharing the cell
+	APs        int // M APs serving it
+	Packets    int // downlink packets per client
+	Payload    int
+	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
+	// 1 runs serially. Results are identical either way.
+	Workers int
+}
+
+// DefaultCellOptions returns the parameters used by ssbench: an 8-client,
+// 2-AP cell.
+func DefaultCellOptions() CellOptions {
+	return CellOptions{Seed: 9, Placements: 20, Clients: 8, APs: 2, Packets: 120, Payload: 1460}
+}
+
+// CellExpResult carries the aggregate-throughput CDFs of the two serving
+// modes and contention diagnostics.
+type CellExpResult struct {
+	SingleAggMbps []float64 // sorted, one per placement (best single AP per client)
+	JointAggMbps  []float64 // same placements, every client served jointly
+	MedianGain    float64
+	// MeanCollisionRate is the fraction of medium acquisitions that ended
+	// in a collision, averaged over the joint runs — the contention the
+	// single-flow experiments cannot exhibit.
+	MeanCollisionRate float64
+}
+
+// RunCell simulates the multi-client cell: each placement spreads the APs
+// over the floor, drops every client in usable-but-not-saturated range of
+// its nearest AP (as in Fig. 17's motivation), and drains each client's
+// backlog once with per-client best-single-AP service and once with
+// SourceSync joint transmissions.
+func RunCell(o CellOptions) CellExpResult {
+	cfg := Profile80211()
+	env := testbed.Mesh(cfg)
+	m := mac.Default(cfg)
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+
+	type plRes struct {
+		singleBps, jointBps float64
+		collisionRate       float64
+	}
+	rows := engine.Map(ec, 0, o.Placements, func(pl int, rng *rand.Rand) plRes {
+		aps := make([]testbed.Point, o.APs)
+		for a := range aps {
+			// Spread the APs: each at least a quarter floor-width from the
+			// others (bounded rejection sampling — fails loudly if the
+			// floor cannot hold them).
+			aps[a] = env.RandomPointWhere(rng, 100000, func(p testbed.Point) bool {
+				for _, q := range aps[:a] {
+					if testbed.Dist(p, q) < env.Width/4 {
+						return false
+					}
+				}
+				return true
+			})
+		}
+		links := make([][]testbed.Link, o.Clients)
+		for c := range links {
+			// Clients sit 8-25 m from their nearest AP: links with rate
+			// headroom, the regime where sender diversity pays.
+			pos := env.RandomPointWhere(rng, 100000, func(p testbed.Point) bool {
+				nearest := testbed.Dist(p, aps[0])
+				for _, q := range aps[1:] {
+					if d := testbed.Dist(p, q); d < nearest {
+						nearest = d
+					}
+				}
+				return nearest >= 8 && nearest <= 25
+			})
+			links[c] = make([]testbed.Link, o.APs)
+			for a := range aps {
+				links[c][a] = env.NewLink(rng, aps[a], pos)
+			}
+		}
+		cell := lasthop.Cell{
+			Mac:              m,
+			PayloadBytes:     o.Payload,
+			Links:            links,
+			PacketsPerClient: o.Packets,
+		}
+		single := cell.RunBestSingleAP(rand.New(rand.NewSource(rng.Int63())))
+		joint := cell.RunJoint(rand.New(rand.NewSource(rng.Int63())))
+		var cr float64
+		if joint.Acquisitions > 0 {
+			cr = float64(joint.Collisions) / float64(joint.Acquisitions)
+		}
+		return plRes{single.AggregateBps, joint.AggregateBps, cr}
+	})
+
+	var res CellExpResult
+	var gains []float64
+	var crSum float64
+	for _, r := range rows {
+		res.SingleAggMbps = append(res.SingleAggMbps, r.singleBps/1e6)
+		res.JointAggMbps = append(res.JointAggMbps, r.jointBps/1e6)
+		if r.singleBps > 0 {
+			gains = append(gains, r.jointBps/r.singleBps)
+		}
+		crSum += r.collisionRate
+	}
+	sortFloats(res.SingleAggMbps)
+	sortFloats(res.JointAggMbps)
+	res.MedianGain = dsp.Median(gains)
+	if len(rows) > 0 {
+		res.MeanCollisionRate = crSum / float64(len(rows))
+	}
+	return res
+}
+
+// ---------------------------------------------------------- crosstraffic
+
+// CrossTrafficOptions configures the mesh cross-traffic experiment: the
+// §8.4 topology's routed flow sharing its collision domain with contending
+// single-hop flows between relays.
+type CrossTrafficOptions struct {
+	Seed         int64
+	Topologies   int
+	Packets      int // routed packets per run
+	CrossFlows   int // contending single-hop flows
+	CrossPackets int // backlog per cross flow
+	Payload      int
+	RateMbps     int
+	Probes       int // measurement-phase probes per link
+	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
+	// 1 runs serially. Results are identical either way.
+	Workers int
+}
+
+// DefaultCrossTrafficOptions returns the parameters used by ssbench.
+func DefaultCrossTrafficOptions() CrossTrafficOptions {
+	return CrossTrafficOptions{
+		Seed: 10, Topologies: 20, Packets: 120, CrossFlows: 2,
+		CrossPackets: 150, Payload: 1000, RateMbps: 12, Probes: 60,
+	}
+}
+
+// CrossTrafficResult compares single-path routing and ExOR+SourceSync with
+// and without cross traffic on the same topologies.
+type CrossTrafficResult struct {
+	SinglePathAloneMbps  []float64 // sorted CDFs, one entry per topology
+	SinglePathLoadedMbps []float64
+	SourceSyncAloneMbps  []float64
+	SourceSyncLoadedMbps []float64
+	// Median ratios of loaded over alone throughput (1 = unaffected).
+	SinglePathRetention float64
+	SourceSyncRetention float64
+	// Median of SourceSync-loaded over single-path-loaded: does sender
+	// diversity still pay under contention?
+	GainUnderLoad float64
+}
+
+// RunCrossTraffic regenerates the cross-traffic comparison over random
+// §8.4 mesh topologies: relays carry their own contending flows while the
+// source routes packets to the destination.
+func RunCrossTraffic(o CrossTrafficOptions) CrossTrafficResult {
+	cfg := Profile80211()
+	env := testbed.Mesh(cfg)
+	rate, err := modem.RateByMbps(o.RateMbps)
+	if err != nil {
+		panic(err)
+	}
+	m := mac.Default(cfg)
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+
+	type tpRes struct{ spAlone, spLoaded, ssAlone, ssLoaded float64 }
+	rows := engine.Map(ec, 0, o.Topologies, func(tp int, rng *rand.Rand) tpRes {
+		topo := randomMeshTopology(rng, env)
+		meas := topo.Measure(rng, rate, o.Payload, o.Probes, 0.1)
+		sim := &exor.Sim{Topo: topo, Meas: meas, Mac: m, Rate: rate, Payload: o.Payload}
+		// Cross flows between distinct relays (nodes 1..N-2), drawn per
+		// topology.
+		relays := topo.N() - 2
+		cross := make([]exor.CrossFlow, o.CrossFlows)
+		for i := range cross {
+			from := 1 + rng.Intn(relays)
+			to := 1 + rng.Intn(relays-1)
+			if to >= from {
+				to++
+			}
+			cross[i] = exor.CrossFlow{From: from, To: to, Packets: o.CrossPackets}
+		}
+		spAlone := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.SinglePath, o.Packets)
+		spLoaded, _ := sim.RunWithCross(rand.New(rand.NewSource(rng.Int63())), exor.SinglePath, o.Packets, cross)
+		ssAlone := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.ExORSourceSync, o.Packets)
+		ssLoaded, _ := sim.RunWithCross(rand.New(rand.NewSource(rng.Int63())), exor.ExORSourceSync, o.Packets, cross)
+		return tpRes{spAlone.ThroughputBps, spLoaded.ThroughputBps, ssAlone.ThroughputBps, ssLoaded.ThroughputBps}
+	})
+
+	var res CrossTrafficResult
+	var spRet, ssRet, gain []float64
+	for _, r := range rows {
+		res.SinglePathAloneMbps = append(res.SinglePathAloneMbps, r.spAlone/1e6)
+		res.SinglePathLoadedMbps = append(res.SinglePathLoadedMbps, r.spLoaded/1e6)
+		res.SourceSyncAloneMbps = append(res.SourceSyncAloneMbps, r.ssAlone/1e6)
+		res.SourceSyncLoadedMbps = append(res.SourceSyncLoadedMbps, r.ssLoaded/1e6)
+		if r.spAlone > 0 {
+			spRet = append(spRet, r.spLoaded/r.spAlone)
+		}
+		if r.ssAlone > 0 {
+			ssRet = append(ssRet, r.ssLoaded/r.ssAlone)
+		}
+		if r.spLoaded > 0 {
+			gain = append(gain, r.ssLoaded/r.spLoaded)
+		}
+	}
+	sortFloats(res.SinglePathAloneMbps)
+	sortFloats(res.SinglePathLoadedMbps)
+	sortFloats(res.SourceSyncAloneMbps)
+	sortFloats(res.SourceSyncLoadedMbps)
+	res.SinglePathRetention = dsp.Median(spRet)
+	res.SourceSyncRetention = dsp.Median(ssRet)
+	res.GainUnderLoad = dsp.Median(gain)
+	return res
+}

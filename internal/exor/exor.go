@@ -6,6 +6,11 @@
 // the transmission, adding sender diversity on the hop toward the
 // destination. A traditional single-path scheme over the same links serves
 // as the baseline.
+//
+// The package is a thin scenario layer: topology, delivery draws, and all
+// medium accounting (DCF timing, ARQ, the virtual clock) live in
+// internal/netsim — each routing scheme is expressed as a netsim flow, so
+// runs can share the medium with cross-traffic flows (RunWithCross).
 package exor
 
 import (
@@ -14,61 +19,22 @@ import (
 	"repro/internal/etx"
 	"repro/internal/mac"
 	"repro/internal/modem"
-	"repro/internal/permodel"
+	"repro/internal/netsim"
 	"repro/internal/sls"
 	"repro/internal/testbed"
 )
 
 // Topology is a set of placed nodes with static pairwise links. Node 0 is
-// the source; node N-1 the destination.
+// the source; node N-1 the destination. The link and delivery model is
+// netsim's; this wrapper adds the routing measurement phase.
 type Topology struct {
-	Positions []testbed.Point
-	Links     [][]testbed.Link // directed: Links[i][j] is i -> j
-	Env       *testbed.Testbed
+	netsim.Topology
 }
 
 // NewTopology places the given points in an environment and draws every
 // directed link once (static shadowing).
 func NewTopology(rng *rand.Rand, env *testbed.Testbed, pts []testbed.Point) *Topology {
-	n := len(pts)
-	links := make([][]testbed.Link, n)
-	for i := 0; i < n; i++ {
-		links[i] = make([]testbed.Link, n)
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			links[i][j] = env.NewLink(rng, pts[i], pts[j])
-		}
-	}
-	// Make links reciprocal in average SNR (same shadowing both ways), as
-	// physical channels are.
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			links[j][i] = links[i][j]
-		}
-	}
-	return &Topology{Positions: pts, Links: links, Env: env}
-}
-
-// N returns the number of nodes.
-func (t *Topology) N() int { return len(t.Positions) }
-
-// DeliveryProb estimates the delivery probability of link i->j at the given
-// rate and payload by Monte-Carlo over fading draws — the "measurement
-// phase" every scheme runs before routing.
-func (t *Topology) DeliveryProb(rng *rand.Rand, i, j int, rate modem.Rate, payload, probes int) float64 {
-	if i == j {
-		return 1
-	}
-	ok := 0
-	for p := 0; p < probes; p++ {
-		per := permodel.PER(rate, payload, t.Links[i][j].DrawSubcarrierSNRs(rng))
-		if rng.Float64() >= per {
-			ok++
-		}
-	}
-	return float64(ok) / float64(probes)
+	return &Topology{Topology: *netsim.NewTopology(rng, env, pts)}
 }
 
 // Measured holds the link-measurement products all schemes share.
@@ -142,7 +108,9 @@ type Sim struct {
 	MaxTxPerPacket int
 }
 
-// Result is the outcome of a scheme simulation.
+// Result is the outcome of a scheme simulation. AirTime is the virtual
+// time the run occupied on the shared medium (with cross traffic, every
+// flow shares the same elapsed time).
 type Result struct {
 	ThroughputBps float64
 	Delivered     int
@@ -150,72 +118,135 @@ type Result struct {
 	AirTime       float64
 }
 
+// CrossFlow describes one contending single-hop stream riding on the same
+// medium as the routed flow: Packets unicast frames From -> To at the
+// simulation's rate, with normal DCF ARQ.
+type CrossFlow struct {
+	From, To int
+	Packets  int
+}
+
 // Run simulates nPackets packets under the given scheme.
 func (s *Sim) Run(rng *rand.Rand, scheme Scheme, nPackets int) Result {
-	if s.MaxTxPerPacket == 0 {
-		s.MaxTxPerPacket = 40
-	}
-	switch scheme {
-	case SinglePath:
-		return s.runSinglePath(rng, nPackets)
-	case ExOR:
-		return s.runExOR(rng, nPackets, false)
-	case ExORSourceSync:
-		return s.runExOR(rng, nPackets, true)
-	}
-	panic("exor: unknown scheme")
-}
-
-// attemptSuccess draws one reception of a single-sender transmission.
-func (s *Sim) attemptSuccess(rng *rand.Rand, from, to int) bool {
-	per := permodel.PER(s.Rate, s.Payload, s.Topo.Links[from][to].DrawSubcarrierSNRs(rng))
-	return rng.Float64() >= per
-}
-
-// runSinglePath sends each packet hop by hop along the min-ETX path with
-// per-hop ARQ.
-func (s *Sim) runSinglePath(rng *rand.Rand, nPackets int) Result {
-	var res Result
-	n := s.Topo.N()
-	path, _ := s.Meas.Graph.ShortestPath(0, n-1)
-	if path == nil {
-		return res
-	}
-	ft := s.Mac.FrameDuration(s.Rate, s.Payload)
-	for p := 0; p < nPackets; p++ {
-		ok := true
-		for h := 0; h+1 < len(path) && ok; h++ {
-			from, to := path[h], path[h+1]
-			out := s.Mac.RetryLoop(rng, ft, true, func(int) bool {
-				return s.attemptSuccess(rng, from, to)
-			})
-			res.AirTime += out.AirTime
-			res.Transmissions += out.Attempts
-			ok = out.Success
-		}
-		if ok {
-			res.Delivered++
-		}
-	}
-	if res.AirTime > 0 {
-		res.ThroughputBps = float64(res.Delivered*s.Payload*8) / res.AirTime
-	}
+	res, _ := s.RunWithCross(rng, scheme, nPackets, nil)
 	return res
 }
 
-// runExOR simulates opportunistic forwarding. Each packet starts at the
-// source; at every step the holder closest to the destination (by ETX)
-// transmits, and every node strictly closer to the destination than the
-// transmitter may receive it. With sourceSync enabled, other holders in the
-// forwarder set join the transmission if they overhear the lead's sync
-// header, and receivers see the summed per-subcarrier SNR.
-func (s *Sim) runExOR(rng *rand.Rand, nPackets int, sourceSync bool) Result {
-	var res Result
+// RunWithCross simulates nPackets packets under the given scheme while the
+// cross flows contend for the same medium. It returns the routed flow's
+// result and one result per cross flow; every throughput is measured over
+// the run's shared virtual time.
+func (s *Sim) RunWithCross(rng *rand.Rand, scheme Scheme, nPackets int, cross []CrossFlow) (Result, []Result) {
+	if s.MaxTxPerPacket == 0 {
+		s.MaxTxPerPacket = 40
+	}
+	sim := netsim.New(s.Mac, rng)
+
+	// delivered counts end-to-end packets; a netsim "delivered frame" is
+	// one transmission or one hop, not one routed packet.
+	var primary *netsim.Flow
+	var delivered *int
+	switch scheme {
+	case SinglePath:
+		primary, delivered = s.singlePathFlow(nPackets)
+	case ExOR, ExORSourceSync:
+		primary, delivered = s.exorFlow(nPackets, scheme == ExORSourceSync)
+	default:
+		panic("exor: unknown scheme")
+	}
+	sim.AddFlow(primary)
+
+	crossFlows := make([]*netsim.Flow, len(cross))
+	ft := s.Mac.FrameDuration(s.Rate, s.Payload)
+	for i, cf := range cross {
+		cf := cf
+		remaining := cf.Packets
+		crossFlows[i] = sim.AddFlow(&netsim.Flow{
+			Name:       "cross",
+			Acked:      true,
+			HasTraffic: func() bool { return remaining > 0 },
+			FrameTime:  func(int) float64 { return ft },
+			Deliver: func(rng *rand.Rand, _ int) bool {
+				return s.Topo.Deliver(rng, cf.From, cf.To, s.Rate, s.Payload)
+			},
+			Done: func(_ int, _ bool, _ float64) { remaining-- },
+		})
+	}
+
+	sim.Run()
+
+	elapsed := sim.Now()
+	mk := func(f *netsim.Flow, deliveredPkts int) Result {
+		r := Result{
+			Delivered:     deliveredPkts,
+			Transmissions: f.Attempts,
+			AirTime:       elapsed,
+		}
+		if elapsed > 0 {
+			r.ThroughputBps = float64(deliveredPkts*s.Payload*8) / elapsed
+		}
+		return r
+	}
+	// The primary's delivery count is end-to-end packets, not netsim
+	// frames; a cross flow's frames are its packets.
+	res := mk(primary, *delivered)
+	crossRes := make([]Result, len(crossFlows))
+	for i, f := range crossFlows {
+		crossRes[i] = mk(f, f.Delivered)
+	}
+	return res, crossRes
+}
+
+// singlePathFlow expresses min-ETX routing with per-hop ARQ as one flow:
+// each netsim frame is one hop; a hop that exhausts its retries loses the
+// packet. The returned counter tracks end-to-end deliveries.
+func (s *Sim) singlePathFlow(nPackets int) (*netsim.Flow, *int) {
+	n := s.Topo.N()
+	path, _ := s.Meas.Graph.ShortestPath(0, n-1)
+	remaining := nPackets
+	if path == nil {
+		remaining = 0
+	}
+	hop := 0
+	e2e := new(int)
+	ft := s.Mac.FrameDuration(s.Rate, s.Payload)
+	f := &netsim.Flow{
+		Name:       "single-path",
+		Acked:      true,
+		HasTraffic: func() bool { return remaining > 0 },
+		FrameTime:  func(int) float64 { return ft },
+	}
+	f.Deliver = func(rng *rand.Rand, _ int) bool {
+		return s.Topo.Deliver(rng, path[hop], path[hop+1], s.Rate, s.Payload)
+	}
+	f.Done = func(_ int, delivered bool, _ float64) {
+		if delivered {
+			hop++
+			if hop+1 >= len(path) {
+				*e2e++
+				remaining--
+				hop = 0
+			}
+			return
+		}
+		// Hop exhausted its retries: the packet is lost.
+		remaining--
+		hop = 0
+	}
+	return f, e2e
+}
+
+// exorFlow expresses opportunistic forwarding as one unacknowledged flow:
+// each netsim frame is one (possibly joint) broadcast by the holder closest
+// to the destination; receptions update the holder set, and the packet
+// completes when the destination holds it or the transmission cap hits.
+func (s *Sim) exorFlow(nPackets int, sourceSync bool) (*netsim.Flow, *int) {
 	n := s.Topo.N()
 	dst := n - 1
 	dist := s.Meas.DistTo
+	remaining := nPackets
 	if dist[0] == etx.Inf {
-		return res
+		remaining = 0
 	}
 
 	// Precompute the joint-frame airtime: co-forwarder count varies per
@@ -228,65 +259,69 @@ func (s *Sim) runExOR(rng *rand.Rand, nPackets int, sourceSync bool) Result {
 		jointFT[k] = s.Mac.JointFrameDuration(s.Rate, s.Payload, k, s.Mac.Cfg.CPLen+cpInc)
 	}
 
-	for p := 0; p < nPackets; p++ {
-		holders := map[int]bool{0: true}
-		tx := 0
-		for !holders[dst] && tx < s.MaxTxPerPacket {
-			lead := bestHolder(holders, dist)
-			if lead == -1 {
-				break
-			}
-			// Assemble the joint sender set. Iterate nodes in index order —
-			// map order would randomize RNG consumption and break run
-			// reproducibility.
-			senders := []int{lead}
-			if sourceSync {
-				for v := 0; v < n; v++ {
-					if !holders[v] || v == lead || dist[v] == etx.Inf {
-						continue
-					}
-					// A co-forwarder joins if it overhears the sync header
-					// (short, robust: use the measured delivery probability
-					// as its reception likelihood).
-					if rng.Float64() < s.Meas.Delivery[lead][v] {
-						senders = append(senders, v)
-					}
-				}
-			}
-			ft := jointFT[len(senders)-1]
-			res.AirTime += s.Mac.DIFS() + s.Mac.Backoff(0, rng) + ft
-			res.Transmissions++
-			tx++
-
-			// Receptions at every node closer to the destination than the
-			// lead (the forwarder set for this transmission).
+	var holders map[int]bool
+	var senders []int
+	tx := 0
+	e2e := new(int)
+	f := &netsim.Flow{
+		Name:       "exor",
+		Acked:      false, // broadcasts carry no ACK; progress is overheard
+		HasTraffic: func() bool { return remaining > 0 },
+	}
+	f.Prepare = func(rng *rand.Rand) int {
+		if holders == nil {
+			holders = map[int]bool{0: true}
+			tx = 0
+		}
+		lead := bestHolder(holders, dist)
+		// Assemble the joint sender set. Iterate nodes in index order — map
+		// order would randomize RNG consumption and break reproducibility.
+		senders = senders[:0]
+		senders = append(senders, lead)
+		if sourceSync {
 			for v := 0; v < n; v++ {
-				if holders[v] || dist[v] >= dist[lead] {
+				if !holders[v] || v == lead || dist[v] == etx.Inf {
 					continue
 				}
-				var bins []float64
-				if len(senders) == 1 {
-					bins = s.Topo.Links[lead][v].DrawSubcarrierSNRs(rng)
-				} else {
-					per := make([][]float64, len(senders))
-					for i, u := range senders {
-						per[i] = s.Topo.Links[u][v].DrawSubcarrierSNRs(rng)
-					}
-					bins = permodel.JointSNR(per)
-				}
-				if rng.Float64() >= permodel.PER(s.Rate, s.Payload, bins) {
-					holders[v] = true
+				// A co-forwarder joins if it overhears the sync header
+				// (short, robust: use the measured delivery probability as
+				// its reception likelihood).
+				if rng.Float64() < s.Meas.Delivery[lead][v] {
+					senders = append(senders, v)
 				}
 			}
 		}
-		if holders[dst] {
-			res.Delivered++
+		return 0
+	}
+	f.FrameTime = func(int) float64 { return jointFT[len(senders)-1] }
+	f.Deliver = func(rng *rand.Rand, _ int) bool {
+		lead := senders[0]
+		// Receptions at every node closer to the destination than the lead
+		// (the forwarder set for this transmission).
+		for v := 0; v < n; v++ {
+			if holders[v] || dist[v] >= dist[lead] {
+				continue
+			}
+			if s.Topo.DeliverJoint(rng, senders, v, s.Rate, s.Payload) {
+				holders[v] = true
+			}
+		}
+		return holders[dst]
+	}
+	f.Done = func(_ int, delivered bool, _ float64) {
+		tx++
+		if delivered {
+			*e2e++
+			remaining--
+			holders = nil
+			return
+		}
+		if tx >= s.MaxTxPerPacket {
+			remaining--
+			holders = nil
 		}
 	}
-	if res.AirTime > 0 {
-		res.ThroughputBps = float64(res.Delivered*s.Payload*8) / res.AirTime
-	}
-	return res
+	return f, e2e
 }
 
 // bestHolder returns the holder with minimum ETX distance to the

@@ -1,0 +1,140 @@
+package lasthop
+
+import (
+	"math/rand"
+
+	"repro/internal/mac"
+	"repro/internal/netsim"
+	"repro/internal/samplerate"
+	"repro/internal/testbed"
+)
+
+// Cell describes a multi-client WLAN cell (§8.3 scaled up): N clients with
+// backlogged downlink traffic from M APs, all sharing one collision domain.
+// Every client's downlink is its own netsim flow with its own SampleRate
+// controller at the lead AP, so the clients contend for the medium exactly
+// as DCF stations do — the scenario the single-client Config cannot
+// express.
+type Cell struct {
+	Mac          mac.Params
+	PayloadBytes int
+	// Links[c][a] is the AP a -> client c link.
+	Links [][]testbed.Link
+	// DataCPIncrease is the extra cyclic prefix (samples) joint frames
+	// spend on residual misalignment.
+	DataCPIncrease int
+	// PacketsPerClient is each client's downlink backlog.
+	PacketsPerClient int
+}
+
+// ClientResult is one client's share of a cell run.
+type ClientResult struct {
+	ThroughputBps float64 // delivered bits over the whole run's virtual time
+	Delivered     int
+	Dropped       int
+	Collisions    int
+}
+
+// CellResult summarizes a cell run.
+type CellResult struct {
+	PerClient    []ClientResult
+	AggregateBps float64 // all delivered bits over the run's virtual time
+	Delivered    int
+	Elapsed      float64 // virtual seconds to drain every backlog
+	Acquisitions int
+	Collisions   int // collision rounds on the medium
+	Utilization  float64
+}
+
+// RunBestSingleAP runs the cell with selective diversity: each client is
+// served by its best AP (highest average SNR), one frame in the air at a
+// time, per-client SampleRate.
+func (c Cell) RunBestSingleAP(rng *rand.Rand) CellResult {
+	ft := frameTimes(c.Mac, c.PayloadBytes, false, 0, 0)
+	return c.run(rng, ft, func(client int) func(*rand.Rand, int, *samplerate.SampleRate) bool {
+		best := 0
+		for a := range c.Links[client] {
+			if c.Links[client][a].SNRdB > c.Links[client][best].SNRdB {
+				best = a
+			}
+		}
+		link := c.Links[client][best]
+		return func(rng *rand.Rand, idx int, sr *samplerate.SampleRate) bool {
+			return netsim.LinkDeliver(rng, link, sr.Rate(idx), c.PayloadBytes)
+		}
+	})
+}
+
+// RunJoint runs the cell with SourceSync: every downlink frame is sent
+// jointly by all of the client's APs (summed per-subcarrier SNR), paying
+// the joint frame overhead.
+func (c Cell) RunJoint(rng *rand.Rand) CellResult {
+	numCo := 0
+	for _, links := range c.Links {
+		if len(links)-1 > numCo {
+			numCo = len(links) - 1
+		}
+	}
+	dataCP := c.Mac.Cfg.CPLen + c.DataCPIncrease
+	ft := frameTimes(c.Mac, c.PayloadBytes, true, numCo, dataCP)
+	return c.run(rng, ft, func(client int) func(*rand.Rand, int, *samplerate.SampleRate) bool {
+		links := c.Links[client]
+		return func(rng *rand.Rand, idx int, sr *samplerate.SampleRate) bool {
+			return netsim.JointLinkDeliver(rng, links, sr.Rate(idx), c.PayloadBytes)
+		}
+	})
+}
+
+// run wires one flow per client into a shared netsim and drains the
+// backlogs. deliver(client) returns the client's per-attempt reception
+// draw.
+func (c Cell) run(rng *rand.Rand, ft []float64, deliver func(client int) func(*rand.Rand, int, *samplerate.SampleRate) bool) CellResult {
+	sim := netsim.New(c.Mac, rng)
+	n := len(c.Links)
+	flows := make([]*netsim.Flow, n)
+	for client := 0; client < n; client++ {
+		sr := samplerate.New(ft)
+		remaining := c.PacketsPerClient
+		attempt := deliver(client)
+		flows[client] = sim.AddFlow(&netsim.Flow{
+			Acked:      true,
+			HasTraffic: func() bool { return remaining > 0 },
+			Prepare: func(rng *rand.Rand) int {
+				idx, _ := sr.Pick(rng)
+				return idx
+			},
+			FrameTime: func(i int) float64 { return ft[i] },
+			Deliver: func(rng *rand.Rand, i int) bool {
+				return attempt(rng, i, sr)
+			},
+			Done: func(i int, delivered bool, air float64) {
+				remaining--
+				sr.Update(i, delivered, air)
+			},
+		})
+	}
+	sim.Run()
+
+	res := CellResult{
+		PerClient:    make([]ClientResult, n),
+		Elapsed:      sim.Now(),
+		Acquisitions: sim.Acquisitions,
+		Collisions:   sim.CollisionRounds,
+	}
+	for i, f := range flows {
+		res.PerClient[i] = ClientResult{
+			Delivered:  f.Delivered,
+			Dropped:    f.Dropped,
+			Collisions: f.Collisions,
+		}
+		if res.Elapsed > 0 {
+			res.PerClient[i].ThroughputBps = float64(f.Delivered*c.PayloadBytes*8) / res.Elapsed
+		}
+		res.Delivered += f.Delivered
+	}
+	if res.Elapsed > 0 {
+		res.AggregateBps = float64(res.Delivered*c.PayloadBytes*8) / res.Elapsed
+		res.Utilization = sim.BusyTime() / res.Elapsed
+	}
+	return res
+}

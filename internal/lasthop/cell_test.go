@@ -1,0 +1,107 @@
+package lasthop
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/modem"
+	"repro/internal/testbed"
+)
+
+// testCell builds an N-client, M-AP cell; snrs[c][a] gives the AP a ->
+// client c average SNR.
+func testCell(snrs [][]float64, packets int) Cell {
+	cfg := modem.Profile80211()
+	tb := testbed.Default(cfg)
+	links := make([][]testbed.Link, len(snrs))
+	for c, row := range snrs {
+		links[c] = make([]testbed.Link, len(row))
+		for a, s := range row {
+			links[c][a] = tb.LinkAtSNR(s, 10)
+		}
+	}
+	return Cell{
+		Mac:              mac.Default(cfg),
+		PayloadBytes:     1460,
+		Links:            links,
+		PacketsPerClient: packets,
+	}
+}
+
+func uniformCell(clients int, snr float64, packets int) Cell {
+	snrs := make([][]float64, clients)
+	for c := range snrs {
+		snrs[c] = []float64{snr, snr - 1}
+	}
+	return testCell(snrs, packets)
+}
+
+func TestCellDrainsEveryBacklog(t *testing.T) {
+	c := uniformCell(4, 18, 100)
+	res := c.RunBestSingleAP(rand.New(rand.NewSource(1)))
+	var total int
+	for _, pc := range res.PerClient {
+		total += pc.Delivered + pc.Dropped
+	}
+	if total != 4*100 {
+		t.Fatalf("cell retired %d of %d packets", total, 4*100)
+	}
+	if res.Delivered < 350 {
+		t.Fatalf("only %d/400 delivered at 18 dB", res.Delivered)
+	}
+	if res.Elapsed <= 0 || res.Utilization <= 0 || res.Utilization >= 1 {
+		t.Fatalf("accounting: elapsed %.4f utilization %.3f", res.Elapsed, res.Utilization)
+	}
+}
+
+func TestCellContentionSplitsThroughput(t *testing.T) {
+	// Doubling the client count on one medium must not double aggregate
+	// throughput, and symmetric clients must see similar shares.
+	four := uniformCell(4, 18, 150).RunBestSingleAP(rand.New(rand.NewSource(2)))
+	eight := uniformCell(8, 18, 150).RunBestSingleAP(rand.New(rand.NewSource(3)))
+	if eight.AggregateBps > four.AggregateBps*1.25 {
+		t.Fatalf("8 clients (%.1f Mbps) should not out-scale 4 (%.1f Mbps) on one medium",
+			eight.AggregateBps/1e6, four.AggregateBps/1e6)
+	}
+	var min, max float64
+	for i, pc := range eight.PerClient {
+		if i == 0 || pc.ThroughputBps < min {
+			min = pc.ThroughputBps
+		}
+		if pc.ThroughputBps > max {
+			max = pc.ThroughputBps
+		}
+	}
+	if min <= 0 || max > 3*min {
+		t.Fatalf("unfair shares: %.2f .. %.2f Mbps", min/1e6, max/1e6)
+	}
+	if eight.Collisions == 0 {
+		t.Fatal("8 contending clients must produce collisions")
+	}
+}
+
+func TestCellJointBeatsBestSingleAtModerateSNR(t *testing.T) {
+	// The paper's Fig. 17 effect must survive contention: mediocre links to
+	// two APs, joint transmission wins on aggregate.
+	snrs := make([][]float64, 8)
+	for c := range snrs {
+		snrs[c] = []float64{9, 8}
+	}
+	cell := testCell(snrs, 120)
+	single := cell.RunBestSingleAP(rand.New(rand.NewSource(4)))
+	joint := cell.RunJoint(rand.New(rand.NewSource(5)))
+	if joint.AggregateBps <= single.AggregateBps {
+		t.Fatalf("joint %.2f Mbps not better than best-single %.2f Mbps under contention",
+			joint.AggregateBps/1e6, single.AggregateBps/1e6)
+	}
+}
+
+func TestCellDeterministicGivenSeed(t *testing.T) {
+	c := uniformCell(6, 12, 80)
+	a := c.RunJoint(rand.New(rand.NewSource(6)))
+	b := c.RunJoint(rand.New(rand.NewSource(6)))
+	if a.AggregateBps != b.AggregateBps || a.Delivered != b.Delivered || a.Collisions != b.Collisions {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

@@ -10,7 +10,7 @@ import (
 
 	"repro/internal/mac"
 	"repro/internal/modem"
-	"repro/internal/permodel"
+	"repro/internal/netsim"
 	"repro/internal/samplerate"
 	"repro/internal/testbed"
 )
@@ -54,10 +54,8 @@ func (c Config) RunSingleAP(rng *rand.Rand, ap int) Result {
 	link := c.APLinks[ap]
 	ft := frameTimes(c.Mac, c.PayloadBytes, false, 0, 0)
 	sr := samplerate.New(ft)
-	return c.run(rng, sr, ft, func(rate modem.Rate) bool {
-		bins := link.DrawSubcarrierSNRs(rng)
-		per := permodel.PER(rate, c.PayloadBytes, bins)
-		return rng.Float64() >= per
+	return c.run(rng, sr, ft, func(rng *rand.Rand, rate modem.Rate) bool {
+		return netsim.LinkDeliver(rng, link, rate, c.PayloadBytes)
 	})
 }
 
@@ -83,36 +81,39 @@ func (c Config) RunJoint(rng *rand.Rand) Result {
 	dataCP := c.Mac.Cfg.CPLen + c.DataCPIncrease
 	ft := frameTimes(c.Mac, c.PayloadBytes, true, numCo, dataCP)
 	sr := samplerate.New(ft)
-	return c.run(rng, sr, ft, func(rate modem.Rate) bool {
-		per := make([][]float64, len(c.APLinks))
-		for i, l := range c.APLinks {
-			per[i] = l.DrawSubcarrierSNRs(rng)
-		}
-		joint := permodel.JointSNR(per)
-		return rng.Float64() >= permodel.PER(rate, c.PayloadBytes, joint)
+	return c.run(rng, sr, ft, func(rng *rand.Rand, rate modem.Rate) bool {
+		return netsim.JointLinkDeliver(rng, c.APLinks, rate, c.PayloadBytes)
 	})
 }
 
-// run drives the SampleRate + retry loop for c.Packets packets; attempt
-// success is decided by succeeds for the chosen rate.
-func (c Config) run(rng *rand.Rand, sr *samplerate.SampleRate, ft []float64, succeeds func(modem.Rate) bool) Result {
+// run drives c.Packets downlink packets as one netsim flow (no contention:
+// a single station owns the cell). SampleRate picks each packet's rate and
+// is fed back the medium time the packet really consumed.
+func (c Config) run(rng *rand.Rand, sr *samplerate.SampleRate, ft []float64, succeeds func(rng *rand.Rand, rate modem.Rate) bool) Result {
 	res := Result{RateHistogram: map[int]int{}}
-	var elapsed float64
-	for pkt := 0; pkt < c.Packets; pkt++ {
-		idx, _ := sr.Pick(rng)
-		rate := sr.Rate(idx)
-		res.RateHistogram[idx]++
-		out := c.Mac.RetryLoop(rng, ft[idx], true, func(int) bool {
-			return succeeds(rate)
-		})
-		elapsed += out.AirTime
-		sr.Update(idx, out.Success, out.AirTime)
-		if out.Success {
-			res.Delivered++
-		}
-	}
-	if elapsed > 0 {
-		res.ThroughputBps = float64(res.Delivered*c.PayloadBytes*8) / elapsed
+	sim := netsim.New(c.Mac, rng)
+	remaining := c.Packets
+	flow := sim.AddFlow(&netsim.Flow{
+		Acked:      true,
+		HasTraffic: func() bool { return remaining > 0 },
+		Prepare: func(rng *rand.Rand) int {
+			idx, _ := sr.Pick(rng)
+			res.RateHistogram[idx]++
+			return idx
+		},
+		FrameTime: func(i int) float64 { return ft[i] },
+		Deliver: func(rng *rand.Rand, i int) bool {
+			return succeeds(rng, sr.Rate(i))
+		},
+		Done: func(i int, delivered bool, air float64) {
+			remaining--
+			sr.Update(i, delivered, air)
+		},
+	})
+	sim.Run()
+	res.Delivered = flow.Delivered
+	if t := sim.Now(); t > 0 {
+		res.ThroughputBps = float64(res.Delivered*c.PayloadBytes*8) / t
 	}
 	return res
 }

@@ -65,18 +65,31 @@ func (p Params) AckDuration() float64 {
 	return p.FrameDuration(p.AckRate, p.AckBytes)
 }
 
-// Backoff draws the random backoff duration for the given retry attempt
-// (0-based); the contention window doubles per retry up to CWMax.
-func (p Params) Backoff(attempt int, rng *rand.Rand) float64 {
+// AckTimeout returns how long a transmitter waits before concluding no ACK
+// is coming: SIFS + one slot + the time to detect a preamble (the 802.11
+// ACKTimeout). This is shorter than a full ACK exchange — a failed attempt
+// must not be billed as if the ACK had arrived.
+func (p Params) AckTimeout() float64 {
+	return p.SIFS + p.SlotTime + float64(p.Cfg.PreambleLen())/p.Cfg.SampleRateHz
+}
+
+// CW returns the contention window for the given retry attempt (0-based):
+// CWMin doubled per retry, saturating at CWMax.
+func (p Params) CW(attempt int) int {
 	cw := p.CWMin
 	for i := 0; i < attempt; i++ {
 		cw = cw*2 + 1
 		if cw > p.CWMax {
-			cw = p.CWMax
-			break
+			return p.CWMax
 		}
 	}
-	return float64(rng.Intn(cw+1)) * p.SlotTime
+	return cw
+}
+
+// Backoff draws the random backoff duration for the given retry attempt
+// (0-based); the contention window doubles per retry up to CWMax.
+func (p Params) Backoff(attempt int, rng *rand.Rand) float64 {
+	return float64(rng.Intn(p.CW(attempt)+1)) * p.SlotTime
 }
 
 // AttemptOverhead returns the channel-access cost of one transmission
@@ -114,9 +127,10 @@ func (p Params) RetryLoop(rng *rand.Rand, frameTime float64, acked bool, succeed
 			out.Success = true
 			return out
 		}
-		// A failed attempt still waits out the ACK timeout.
+		// A failed attempt waits out the ACK timeout — not a full ACK
+		// exchange, which would overbill retry-heavy schemes.
 		if acked {
-			out.AirTime += p.SIFS + p.AckDuration()
+			out.AirTime += p.AckTimeout()
 		}
 	}
 	return out

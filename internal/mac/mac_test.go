@@ -103,6 +103,45 @@ func TestRetryLoopStatistics(t *testing.T) {
 	}
 }
 
+func TestAckTimeoutShorterThanAckExchange(t *testing.T) {
+	p := Default(modem.Profile80211())
+	to := p.AckTimeout()
+	if to <= p.SIFS {
+		t.Fatalf("AckTimeout %g must exceed SIFS", to)
+	}
+	if full := p.SIFS + p.AckDuration(); to >= full {
+		t.Fatalf("AckTimeout %g must be shorter than a full ACK exchange %g", to, full)
+	}
+}
+
+func TestFailedAttemptsChargedAckTimeout(t *testing.T) {
+	// On a dead link every attempt fails; total airtime must use AckTimeout
+	// per attempt, not the full SIFS+ACK exchange.
+	p := Default(modem.Profile80211())
+	p.CWMin, p.CWMax = 0, 0 // no backoff: airtime is deterministic
+	rng := rand.New(rand.NewSource(3))
+	r6, _ := modem.RateByMbps(6)
+	ft := p.FrameDuration(r6, 500)
+	out := p.RetryLoop(rng, ft, true, func(int) bool { return false })
+	want := float64(p.RetryLimit) * (p.DIFS() + ft + p.AckTimeout())
+	if math.Abs(out.AirTime-want) > 1e-12 {
+		t.Fatalf("dead-link airtime %g, want %g", out.AirTime, want)
+	}
+}
+
+func TestCWDoubling(t *testing.T) {
+	p := Default(modem.Profile80211())
+	if p.CW(0) != p.CWMin {
+		t.Fatalf("CW(0) = %d", p.CW(0))
+	}
+	if p.CW(1) != 2*p.CWMin+1 {
+		t.Fatalf("CW(1) = %d", p.CW(1))
+	}
+	if p.CW(20) != p.CWMax {
+		t.Fatalf("CW must saturate at CWMax, got %d", p.CW(20))
+	}
+}
+
 func TestDIFS(t *testing.T) {
 	p := Default(modem.Profile80211())
 	if got := p.DIFS(); math.Abs(got-28e-6) > 1e-12 {

@@ -1,0 +1,280 @@
+// Package netsim is a packet-level, virtual-time network simulator for the
+// throughput experiments: one 802.11 collision domain in which any number of
+// traffic flows contend for the medium under DCF, with per-flow ARQ, rate
+// control hooks, and joint-transmission sender groups.
+//
+// The medium model is deliberately packet-level, not sample-level: the PHY
+// packages settle what a frame costs (airtimes from the modem's symbol
+// accounting via internal/mac) and how likely it is to be received
+// (per-subcarrier SNR draws through internal/permodel); netsim owns the
+// clock and the contention between transmissions. One Step is one medium
+// acquisition:
+//
+//  1. Every backlogged flow draws a DCF backoff from its retry-dependent
+//     contention window (in flow order, so RNG consumption — and therefore
+//     the whole run — is deterministic for a given seed).
+//  2. The minimum draw wins the medium. A tie is a collision: all tied
+//     flows transmit and none deliver; acked flows retry with a doubled
+//     window, unacked flows lose the frame outright.
+//  3. The virtual clock advances by DIFS + backoff + frame airtime, plus
+//     the ACK exchange on success or the ACK timeout on failure.
+//
+// Retries re-enter contention (as in real DCF) rather than holding the
+// medium. Losing flows redraw their backoff next round — a memoryless
+// simplification of DCF's frozen counters that keeps draws independent of
+// scheduling history.
+//
+// Scenario packages (internal/lasthop, internal/exor) define flows over
+// this core instead of hand-rolling DIFS/backoff/ACK arithmetic.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mac"
+)
+
+// Flow is one contending traffic stream. The simulator drives it frame by
+// frame through the hooks; all hooks see the simulator's RNG so runs stay
+// deterministic for a given seed.
+type Flow struct {
+	Name string
+	// Acked selects unicast semantics: successful frames pay SIFS + ACK,
+	// failures pay the ACK timeout and retry up to the MAC retry limit.
+	// Unacknowledged flows (broadcast-style, e.g. ExOR forwarding) get
+	// exactly one attempt per frame.
+	Acked bool
+
+	// HasTraffic reports whether the flow wants the medium. Nil means the
+	// flow never contends.
+	HasTraffic func() bool
+	// Prepare is called once per head-of-line frame (not per attempt) and
+	// returns the rate index to transmit at — from SampleRate, a fixed
+	// rate, or whatever the scenario chooses. Nil means rate index 0.
+	Prepare func(rng *rand.Rand) int
+	// FrameTime returns the frame airtime in seconds at rate index r.
+	FrameTime func(r int) float64
+	// Deliver draws one reception attempt at rate index r.
+	Deliver func(rng *rand.Rand, r int) bool
+	// Done is called when the head-of-line frame completes — delivered, or
+	// dropped after the retry limit (acked flows) or its single attempt
+	// (unacked flows) — with the medium time the flow's own attempts
+	// consumed.
+	Done func(r int, delivered bool, airTime float64)
+
+	// Accounting, maintained by the simulator.
+	Delivered  int     // frames delivered
+	Dropped    int     // frames dropped (retry limit, or unacked failure)
+	Attempts   int     // transmission attempts, including collisions
+	Collisions int     // attempts lost to collisions
+	AirTime    float64 // medium time consumed by this flow's own attempts
+
+	// Head-of-line frame state.
+	inFlight bool
+	rateIdx  int
+	attempt  int
+	frameAir float64
+}
+
+// Sim is one collision domain with a virtual clock.
+type Sim struct {
+	Mac   mac.Params
+	Rng   *rand.Rand
+	Flows []*Flow
+
+	// MaxSteps bounds Run as a safety net against scenarios whose flows
+	// never drain; 0 means a generous default.
+	MaxSteps int
+
+	now  float64 // virtual time, seconds
+	busy float64 // time the medium carried frames (airtime, ACKs)
+
+	Acquisitions    int // medium acquisitions (Steps that found traffic)
+	CollisionRounds int // acquisitions that ended in a collision
+
+	// Scratch buffers reused across Steps (the hot loop).
+	contenders []*Flow
+	winners    []*Flow
+	slots      []int
+}
+
+// New returns a simulator over the given MAC timing, drawing all randomness
+// from rng.
+func New(m mac.Params, rng *rand.Rand) *Sim {
+	return &Sim{Mac: m, Rng: rng}
+}
+
+// AddFlow registers a flow and returns it (for accounting reads after Run).
+func (s *Sim) AddFlow(f *Flow) *Flow {
+	s.Flows = append(s.Flows, f)
+	return f
+}
+
+// Now returns the virtual time elapsed so far, in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// BusyTime returns the virtual time the medium spent carrying frames and
+// acknowledgments (the rest is DIFS, backoff, and ACK timeouts).
+func (s *Sim) BusyTime() float64 { return s.busy }
+
+// backoffSlots draws a backoff in whole slots for the given retry attempt.
+func (s *Sim) backoffSlots(attempt int) int {
+	return s.Rng.Intn(s.Mac.CW(attempt) + 1)
+}
+
+// Step performs one medium acquisition. It returns false — without
+// consuming randomness or advancing the clock — once no flow has traffic.
+func (s *Sim) Step() bool {
+	// Contenders, in flow order: deterministic RNG consumption.
+	contenders := s.contenders[:0]
+	for _, f := range s.Flows {
+		if f.inFlight || (f.HasTraffic != nil && f.HasTraffic()) {
+			contenders = append(contenders, f)
+		}
+	}
+	s.contenders = contenders
+	if len(contenders) == 0 {
+		return false
+	}
+
+	minSlots := -1
+	slots := s.slots[:0]
+	for _, f := range contenders {
+		if !f.inFlight {
+			f.inFlight = true
+			f.attempt = 0
+			f.frameAir = 0
+			f.rateIdx = 0
+			if f.Prepare != nil {
+				f.rateIdx = f.Prepare(s.Rng)
+			}
+		}
+		b := s.backoffSlots(f.attempt)
+		slots = append(slots, b)
+		if minSlots < 0 || b < minSlots {
+			minSlots = b
+		}
+	}
+	s.slots = slots
+	winners := s.winners[:0]
+	for i, f := range contenders {
+		if slots[i] == minSlots {
+			winners = append(winners, f)
+		}
+	}
+	s.winners = winners
+	s.Acquisitions++
+	wait := s.Mac.DIFS() + float64(minSlots)*s.Mac.SlotTime
+
+	if len(winners) > 1 {
+		s.collide(winners, wait)
+		return true
+	}
+
+	f := winners[0]
+	ft := f.FrameTime(f.rateIdx)
+	ok := f.Deliver(s.Rng, f.rateIdx)
+	f.Attempts++
+	cost := wait + ft
+	busy := ft
+	if f.Acked {
+		if ok {
+			ack := s.Mac.SIFS + s.Mac.AckDuration()
+			cost += ack
+			busy += ack
+		} else {
+			cost += s.Mac.AckTimeout()
+		}
+	}
+	f.frameAir += cost
+	f.AirTime += cost
+	s.now += cost
+	s.busy += busy
+	if ok {
+		s.finishFrame(f, true)
+	} else {
+		s.failAttempt(f)
+	}
+	return true
+}
+
+// collide settles an acquisition in which several flows drew the same slot:
+// all transmit simultaneously, none deliver. The medium is occupied for the
+// longest colliding frame; each collider is billed its own frame (they
+// overlap in real time, but per-flow attribution is what rate control sees).
+func (s *Sim) collide(winners []*Flow, wait float64) {
+	s.CollisionRounds++
+	var maxFT float64
+	anyAcked := false
+	for _, f := range winners {
+		ft := f.FrameTime(f.rateIdx)
+		if ft > maxFT {
+			maxFT = ft
+		}
+		if f.Acked {
+			anyAcked = true
+		}
+		f.Attempts++
+		f.Collisions++
+		cost := wait + ft
+		if f.Acked {
+			cost += s.Mac.AckTimeout()
+		}
+		f.frameAir += cost
+		f.AirTime += cost
+	}
+	elapsed := wait + maxFT
+	if anyAcked {
+		elapsed += s.Mac.AckTimeout()
+	}
+	s.now += elapsed
+	s.busy += maxFT
+	for _, f := range winners {
+		s.failAttempt(f)
+	}
+}
+
+// failAttempt advances a flow past a failed attempt: unacked flows complete
+// their single attempt; acked flows retry until the MAC retry limit.
+func (s *Sim) failAttempt(f *Flow) {
+	if !f.Acked {
+		s.finishFrame(f, false)
+		return
+	}
+	f.attempt++
+	if f.attempt >= s.Mac.RetryLimit {
+		s.finishFrame(f, false)
+	}
+}
+
+// finishFrame retires the head-of-line frame and notifies the flow.
+func (s *Sim) finishFrame(f *Flow, delivered bool) {
+	if delivered {
+		f.Delivered++
+	} else {
+		f.Dropped++
+	}
+	f.inFlight = false
+	if f.Done != nil {
+		f.Done(f.rateIdx, delivered, f.frameAir)
+	}
+}
+
+// Run steps the simulator until every flow is drained. The MaxSteps guard
+// exists to catch scenario bugs (a flow whose backlog never drains); when
+// it trips, Run panics rather than let an experiment publish tables from a
+// silently truncated run.
+func (s *Sim) Run() {
+	max := s.MaxSteps
+	if max == 0 {
+		max = 1 << 24
+	}
+	for i := 0; i < max; i++ {
+		if !s.Step() {
+			return
+		}
+	}
+	panic(fmt.Sprintf("netsim: %d flows still backlogged after %d medium acquisitions — a flow's backlog never drains",
+		len(s.Flows), max))
+}

@@ -123,12 +123,60 @@ func TestSimRejectsMismatchedCoSenderCount(t *testing.T) {
 	}
 }
 
-func TestSimRejectsImpossibleSchedule(t *testing.T) {
-	// A turnaround longer than SIFS cannot make the slot.
+func TestSlotMissAbstainsAndLeadStillDecodes(t *testing.T) {
+	// A co-sender whose turnaround exceeds the sync gap cannot make its TX
+	// slot. Per §4.3 it abstains — the run must not abort, the miss is
+	// counted, and the receiver still decodes the lead-only frame.
 	rng := rand.New(rand.NewSource(5))
+	payload := make([]byte, 120)
+	rng.Read(payload)
+
+	// Shrink the headroom: grow Turnaround until the slot is missed.
+	var missRun *SimRun
+	for turnaround := 120.0; turnaround <= 10*200*4; turnaround *= 2 {
+		rng := rand.New(rand.NewSource(5))
+		sim := idealSim(t, rng, 1e-6)
+		sim.Co[0].Turnaround = turnaround
+		run, err := sim.Run(payload)
+		if err != nil {
+			t.Fatalf("turnaround %.0f: %v", turnaround, err)
+		}
+		if run.SlotMisses > 0 {
+			missRun = run
+			break
+		}
+	}
+	if missRun == nil {
+		t.Fatal("never provoked a slot miss")
+	}
+	if missRun.CoJoined[0] {
+		t.Fatal("a co-sender that missed its slot must not count as joined")
+	}
+	if missRun.SlotMisses != 1 {
+		t.Fatalf("SlotMisses = %d, want 1", missRun.SlotMisses)
+	}
+	rx := &JointReceiver{Cfg: modem.Profile80211(), FFTBackoff: 3}
+	res, err := rx.Receive(missRun.RxWave, 0)
+	if err != nil {
+		t.Fatalf("lead-only frame must stay decodable: %v", err)
+	}
+	if !res.OK || string(res.Payload) != string(payload) {
+		t.Fatal("lead-only decode failed")
+	}
+}
+
+func TestCalibrationSlotMissYieldsLeadOnlyFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
 	sim := idealSim(t, rng, 1e-6)
-	sim.Co[0].Turnaround = 10 * 200 // far beyond SIFS at 20 Msps
-	if _, err := sim.Run(make([]byte, 120)); err == nil {
-		t.Fatal("impossible schedule must error")
+	sim.Co[0].Turnaround = 10 * 200 * 4 // far beyond the sync gap
+	run, err := sim.RunCalibration(10)
+	if err != nil {
+		t.Fatalf("calibration slot miss must not abort: %v", err)
+	}
+	if run.CoJoined[0] || run.SlotMisses != 1 {
+		t.Fatalf("joined=%v misses=%d, want abstain", run.CoJoined[0], run.SlotMisses)
+	}
+	if len(run.RxWave) == 0 {
+		t.Fatal("lead-only calibration frame missing")
 	}
 }

@@ -78,6 +78,11 @@ type SimRun struct {
 	// CoArrivalEstErr[i] is the error of co-sender i's header arrival
 	// estimate (diagnostic).
 	CoArrivalEstErr []float64
+	// SlotMisses counts co-senders that decoded the sync header but could
+	// not turn around in time for their TX slot and therefore abstained
+	// (paper §4.3: a late-detecting node simply stays silent; the frame
+	// remains decodable from the lead alone).
+	SlotMisses int
 }
 
 // Run simulates the full distributed exchange for one payload.
@@ -154,7 +159,11 @@ func (c *JointSimConfig) Run(payload []byte) (*SimRun, error) {
 		}
 		ready := arrivalEst + float64(headerSamples) + co.Turnaround
 		if txStart < ready {
-			return nil, fmt.Errorf("phy: co-sender %d cannot make its slot (needs %.1f, ready %.1f)", i, txStart, ready)
+			// The co-sender cannot make its slot: it abstains rather than
+			// transmit late and corrupt the joint frame (§4.3).
+			run.CoJoined[i] = false
+			run.SlotMisses++
+			continue
 		}
 
 		coWave := c.P.BuildCoWaveform(i, payload)
@@ -245,6 +254,15 @@ func (c *JointSimConfig) RunCalibration(reps int) (*SimRun, error) {
 		Path:  c.LeadToRx.Path,
 	}}
 
+	// finish mixes whatever emissions made it into the calibration window —
+	// the single exit for the lead-only (header miss, slot miss) and joint
+	// paths, so the window length stays identical everywhere.
+	finish := func() (*SimRun, error) {
+		total := c.Margin + c.P.CalibrationLen(reps) + int(c.LeadToRx.Delay) + 8*cfg.NFFT
+		run.RxWave = channel.Mix(c.Rng, total, 0, c.NoiseRx, emissions...)
+		return run, nil
+	}
+
 	headerSamples := c.P.HeaderEnd()
 	co := &c.Co[0]
 	link := c.LeadToCo[0]
@@ -261,9 +279,7 @@ func (c *JointSimConfig) RunCalibration(reps int) (*SimRun, error) {
 	arrivalEst, det, hdr, err := receiveHeader(cfg, coRx, 0, co.FFTBackoff)
 	if err != nil || !hdr.Joint {
 		// Co-sender missed the header: lead-only calibration frame.
-		total := c.Margin + c.P.CalibrationLen(reps) + int(c.LeadToRx.Delay) + 8*cfg.NFFT
-		run.RxWave = channel.Mix(c.Rng, total, 0, c.NoiseRx, emissions...)
-		return run, nil
+		return finish()
 	}
 	run.CoJoined[0] = true
 	run.CoArrivalEstErr[0] = arrivalEst - (leadStart + link.Delay)
@@ -278,7 +294,10 @@ func (c *JointSimConfig) RunCalibration(reps int) (*SimRun, error) {
 	}
 	ready := arrivalEst + float64(headerSamples) + co.Turnaround
 	if txStart < ready {
-		return nil, fmt.Errorf("phy: calibration co-sender cannot make its slot")
+		// Slot missed: abstain and emit a lead-only calibration frame.
+		run.CoJoined[0] = false
+		run.SlotMisses++
+		return finish()
 	}
 	emissions = append(emissions, channel.Emission{
 		Wave:  c.P.BuildCoCalibration(0, reps),
@@ -289,8 +308,5 @@ func (c *JointSimConfig) RunCalibration(reps int) (*SimRun, error) {
 		Path:  c.CoToRx[0].Path,
 	})
 	run.TrueMisalign[0] = (txStart + c.CoToRx[0].Delay) - (leadGlobalRef + c.LeadToRx.Delay)
-
-	total := c.Margin + c.P.CalibrationLen(reps) + int(c.LeadToRx.Delay) + 8*cfg.NFFT
-	run.RxWave = channel.Mix(c.Rng, total, 0, c.NoiseRx, emissions...)
-	return run, nil
+	return finish()
 }

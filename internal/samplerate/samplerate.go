@@ -74,16 +74,13 @@ func (s *SampleRate) Pick(rng *rand.Rand) (idx int, probe bool) {
 
 // probeCandidates lists rates other than the current one whose lossless
 // frame time beats the current rate's average tx time (i.e. rates that
-// could plausibly be faster), excluding recently-failed ones.
+// could plausibly be faster), excluding recently-failed ones. It is a pure
+// read: lockout bookkeeping happens in Update, once per packet.
 func (s *SampleRate) probeCandidates() []int {
 	cur := s.stats[s.current].avgTxTime
 	var out []int
 	for i := range s.rates {
-		if i == s.current {
-			continue
-		}
-		if s.stats[i].lossyDisable > 0 {
-			s.stats[i].lossyDisable--
+		if i == s.current || s.stats[i].lossyDisable > 0 {
 			continue
 		}
 		if s.frameTime[i] < cur {
@@ -96,6 +93,13 @@ func (s *SampleRate) probeCandidates() []int {
 // Update records the outcome of one packet at rate idx: the total medium
 // time it consumed (including retries) and whether it was delivered.
 func (s *SampleRate) Update(idx int, success bool, txTime float64) {
+	// Every packet ages the lossy lockouts, so a disabled rate really comes
+	// back after ~50 packets (Bicket's 10 s at typical packet rates).
+	for i := range s.stats {
+		if s.stats[i].lossyDisable > 0 {
+			s.stats[i].lossyDisable--
+		}
+	}
 	st := &s.stats[idx]
 	st.samples++
 	if success {
@@ -110,20 +114,34 @@ func (s *SampleRate) Update(idx int, success bool, txTime float64) {
 			st.lossyDisable = 50
 		}
 	}
-	// Re-elect the best rate among those with data.
-	best := s.current
+	// Re-elect the best rate among those with data, skipping lossy-disabled
+	// rates — including the current one, which is demoted to the best
+	// still-eligible rate when its own lockout triggers.
+	best := -1
 	for i := range s.stats {
-		if s.stats[i].samples == 0 && i != s.current {
-			continue
-		}
 		if s.stats[i].lossyDisable > 0 {
 			continue
 		}
-		if s.stats[i].avgTxTime < s.stats[best].avgTxTime {
+		if s.stats[i].samples == 0 && i != s.current {
+			continue
+		}
+		if best < 0 || s.stats[i].avgTxTime < s.stats[best].avgTxTime {
 			best = i
 		}
 	}
-	s.current = best
+	if best < 0 {
+		// The current rate is locked out and no other rate has data yet:
+		// fall back to the most robust rate that is still eligible.
+		for i := range s.stats {
+			if s.stats[i].lossyDisable == 0 {
+				best = i
+				break
+			}
+		}
+	}
+	if best >= 0 {
+		s.current = best
+	}
 }
 
 // Rate returns the modem rate at index idx.

@@ -103,6 +103,77 @@ func TestLossyRateDisabledAfterConsecutiveFailures(t *testing.T) {
 	}
 }
 
+func TestLossyLockoutLastsFiftyPackets(t *testing.T) {
+	// Regression: the lockout used to decrement only inside probeCandidates
+	// (reached every ProbeInterval-th packet), making the documented
+	// 50-packet lockout last ~500 packets.
+	ft := frameTimes()
+	s := New(ft)
+	// Give the slow rate traffic so re-election has an anchor, then fail
+	// rate 7 four times in a row to trigger its lockout.
+	s.Update(0, true, ft[0])
+	for i := 0; i < 4; i++ {
+		s.Update(7, false, ft[7]*7)
+	}
+	if s.stats[7].lossyDisable == 0 {
+		t.Fatal("rate 7 should be locked out")
+	}
+	// Each subsequent packet (on any rate) ages the lockout by one.
+	packets := 0
+	for s.stats[7].lossyDisable > 0 {
+		s.Update(0, true, ft[0])
+		packets++
+		if packets > 60 {
+			t.Fatalf("lockout still active after %d packets", packets)
+		}
+	}
+	if packets != 50 {
+		t.Fatalf("lockout lasted %d packets, want 50", packets)
+	}
+}
+
+func TestProbeCandidatesIsPure(t *testing.T) {
+	ft := frameTimes()
+	s := New(ft)
+	s.Update(0, true, ft[0])
+	for i := 0; i < 4; i++ {
+		s.Update(7, false, ft[7]*7)
+	}
+	before := s.stats[7].lossyDisable
+	// A read path must not mutate lockout state, however often it runs.
+	for i := 0; i < 100; i++ {
+		s.probeCandidates()
+	}
+	if got := s.stats[7].lossyDisable; got != before {
+		t.Fatalf("probeCandidates mutated lossyDisable: %d -> %d", before, got)
+	}
+}
+
+func TestLossyCurrentRateDemoted(t *testing.T) {
+	ft := frameTimes()
+	s := New(ft)
+	// Establish rate 3 as a sampled alternative, then move current to 7.
+	for i := 0; i < 10; i++ {
+		s.Update(3, true, ft[3])
+	}
+	for i := 0; i < 10; i++ {
+		s.Update(7, true, ft[7])
+	}
+	if s.Current() != 7 {
+		t.Fatalf("setup: current %d, want 7", s.Current())
+	}
+	// Four consecutive failures lock rate 7 out; it must not stay current.
+	for i := 0; i < 4; i++ {
+		s.Update(7, false, ft[7]*7)
+	}
+	if s.stats[7].lossyDisable == 0 {
+		t.Fatal("rate 7 should be locked out")
+	}
+	if s.Current() == 7 {
+		t.Fatal("lossy-disabled rate must be demoted from current")
+	}
+}
+
 func TestAdaptsDownWhenChannelDegrades(t *testing.T) {
 	ft := frameTimes()
 	s := New(ft)

@@ -1,0 +1,40 @@
+package testbed
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/modem"
+)
+
+func TestRandomPointWhereSatisfiable(t *testing.T) {
+	tb := Default(modem.Profile80211())
+	rng := rand.New(rand.NewSource(1))
+	ref := Point{X: 15, Y: 7}
+	p := tb.RandomPointWhere(rng, 0, func(p Point) bool {
+		d := Dist(p, ref)
+		return d >= 3 && d <= 10
+	})
+	if d := Dist(p, ref); d < 3 || d > 10 {
+		t.Fatalf("accepted point at %.2f m", d)
+	}
+}
+
+func TestRandomPointWhereFailsLoudly(t *testing.T) {
+	tb := Default(modem.Profile80211())
+	rng := rand.New(rand.NewSource(2))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("unsatisfiable constraint must panic, not spin")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "draws") {
+			t.Fatalf("panic %v should name the draw budget", r)
+		}
+	}()
+	// No point on a 30x15 floor is 1000 m from the origin.
+	tb.RandomPointWhere(rng, 500, func(p Point) bool {
+		return Dist(p, Point{}) > 1000
+	})
+}

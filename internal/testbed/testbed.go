@@ -5,6 +5,7 @@
 package testbed
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -75,6 +76,23 @@ func (t *Testbed) NoiseFloorDBm() float64 {
 // RandomPoint draws a uniform position on the floor.
 func (t *Testbed) RandomPoint(rng *rand.Rand) Point {
 	return Point{X: rng.Float64() * t.Width, Y: rng.Float64() * t.Height}
+}
+
+// RandomPointWhere draws uniform positions until pred accepts one.
+// Rejection sampling must fail loudly rather than spin forever when the
+// constraint is geometrically unsatisfiable, so after maxTries draws
+// (<= 0 selects a generous default) it panics with the acceptance count.
+func (t *Testbed) RandomPointWhere(rng *rand.Rand, maxTries int, pred func(Point) bool) Point {
+	if maxTries <= 0 {
+		maxTries = 100000
+	}
+	for i := 0; i < maxTries; i++ {
+		if p := t.RandomPoint(rng); pred(p) {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("testbed: no point on the %gx%g m floor satisfied the constraint in %d draws",
+		t.Width, t.Height, maxTries))
 }
 
 // Link is a static directed link snapshot: its average SNR (path loss +
