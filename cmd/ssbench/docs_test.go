@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The docs-freshness contract: docs/EXPERIMENTS.md documents every
+// experiment ssbench registers. Registering a new experiment without
+// documenting it (or renaming one and leaving the doc stale) fails here —
+// and in CI, which runs this test as a dedicated step.
+func TestExperimentsDocCoversEveryExperiment(t *testing.T) {
+	data, err := os.ReadFile("../../docs/EXPERIMENTS.md")
+	if err != nil {
+		t.Fatalf("docs/EXPERIMENTS.md must exist: %v", err)
+	}
+	doc := string(data)
+	for _, name := range experimentNames {
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("docs/EXPERIMENTS.md does not mention experiment %q (expected a `%s` reference)", name, name)
+		}
+	}
+}
+
+// experimentNames feeds the `all` loop, the usage line, and the docs
+// check, so each entry must be well-formed: unique, lower-case (run()
+// lower-cases its argument before the switch), and space-free.
+func TestExperimentNamesAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range experimentNames {
+		if seen[name] {
+			t.Errorf("experiment %q registered twice", name)
+		}
+		seen[name] = true
+		if name != strings.ToLower(name) || strings.ContainsAny(name, " \t") {
+			t.Errorf("experiment %q must be lower-case with no spaces (run() lower-cases its argument)", name)
+		}
+	}
+}

@@ -5,8 +5,8 @@
 //
 //	ssbench [flags] <experiment>
 //
-// Experiments: fig12 fig13 fig14 fig15 fig16 fig17 fig18 cell crosstraffic
-// overhead detdelay ablations all
+// Experiments: fig12 fig13 fig14 fig15 fig16 fig17 fig18 cell cellsweep
+// crosstraffic overhead detdelay ablations all
 package main
 
 import (
@@ -26,6 +26,14 @@ var (
 	parallel = flag.Bool("parallel", true, "fan trials out across all CPUs (results are identical either way)")
 	nworkers = flag.Int("workers", 0, "worker count when -parallel (0 = GOMAXPROCS)")
 )
+
+// experimentNames lists every registered experiment in the order `all`
+// runs them. docs_test.go checks docs/EXPERIMENTS.md documents each one,
+// so the list, the run switch, and the docs cannot drift apart silently.
+var experimentNames = []string{
+	"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+	"cell", "cellsweep", "crosstraffic", "overhead", "detdelay", "ablations",
+}
 
 // workers translates the flags into the engine's convention: 1 worker when
 // -parallel=false, otherwise -workers (0 meaning one worker per CPU).
@@ -53,7 +61,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] <fig12|fig13|fig14|fig15|fig16|fig17|fig18|cell|crosstraffic|overhead|detdelay|ablations|all>")
+	fmt.Fprintf(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] <%s|all>\n",
+		strings.Join(experimentNames, "|"))
 }
 
 func run(exp string) {
@@ -79,6 +88,8 @@ func run(exp string) {
 		fig18(12)
 	case "cell":
 		cell()
+	case "cellsweep":
+		cellsweep()
 	case "crosstraffic":
 		crosstraffic()
 	case "overhead":
@@ -88,7 +99,7 @@ func run(exp string) {
 	case "ablations":
 		ablations()
 	case "all":
-		for _, e := range []string{"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "cell", "crosstraffic", "overhead", "detdelay", "ablations"} {
+		for _, e := range experimentNames {
 			run(e)
 		}
 	default:
@@ -231,6 +242,24 @@ func cell() {
 	}
 	fmt.Printf("median aggregate gain: %.2fx; collision rate %.3f of acquisitions\n",
 		res.MedianGain, res.MeanCollisionRate)
+}
+
+func cellsweep() {
+	header("Cellsweep — saturation throughput vs clients per cell (multi-cell spatial reuse)")
+	o := sourcesync.DefaultCellSweepOptions()
+	o.Seed = *seed + 10
+	o.Workers = workers()
+	o.Placements = shrink(o.Placements)
+	o.Packets = shrink(o.Packets)
+	res := sourcesync.RunCellSweep(o)
+	fmt.Printf("cells=%d aps/cell=%d packets/client=%d cs-range=%.0fm capture=%.0fdB\n",
+		o.Cells, o.APsPerCell, o.Packets, o.CSRangeM, o.CaptureDB)
+	fmt.Printf("%10s %14s %14s %8s %8s %8s\n", "clients", "single(Mbps)", "joint(Mbps)", "gain", "collis", "util")
+	for _, p := range res.Points {
+		fmt.Printf("%10d %14.2f %14.2f %7.2fx %8.3f %8.2f\n",
+			p.ClientsPerCell, p.SingleAggMbps, p.JointAggMbps, p.MedianGain, p.CollisionRate, p.MeanUtilization)
+	}
+	fmt.Println("utilization above 1 = cells beyond carrier-sense range carrying frames concurrently")
 }
 
 func crosstraffic() {

@@ -2,6 +2,7 @@ package sourcesync
 
 import (
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"testing"
 )
@@ -9,6 +10,20 @@ import (
 // The engine's reproducibility contract: a figure's output is byte-identical
 // at every worker count, because each trial's RNG derives from (seed, point,
 // trial) rather than from a shared stream.
+//
+// The waveform experiments (fig12-16) are too slow for `go test -short`, so
+// each full-size comparison below is paired with a fingerprint variant: a
+// handful of trials, reduced to an FNV hash, cheap enough for the short
+// path. The hash carries no diagnostic detail — its only job is to catch a
+// worker-count divergence before the full run would.
+
+// fingerprint reduces any experiment result to a stable 64-bit hash of its
+// Go-syntax representation.
+func fingerprint(v any) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", v)
+	return h.Sum64()
+}
 
 func TestFig12DeterministicAcrossWorkerCounts(t *testing.T) {
 	if testing.Short() {
@@ -61,6 +76,33 @@ func TestFig14Fig15Fig16DeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestFig13FingerprintDeterministicShort(t *testing.T) {
+	base := Fig13Options{Seed: 2, CPsNs: []float64{0, 469}, FramesPerCP: 1, SNRdB: 25}
+	render := func(workers int) uint64 {
+		o := base
+		o.Workers = workers
+		return fingerprint(RunFig13(o))
+	}
+	serial := render(1)
+	if got := render(4); got != serial {
+		t.Fatalf("fig13 fingerprint differs: workers=4 %x vs serial %x", got, serial)
+	}
+}
+
+func TestFig14Fig15Fig16FingerprintDeterministicShort(t *testing.T) {
+	o14 := Fig14Options{Seed: 3, Draws: 6, Taps: 10}
+	o15 := Fig15Options{Seed: 4, Placements: 2, Frames: 1}
+	render := func(workers int) uint64 {
+		a, b := o14, o15
+		a.Workers, b.Workers = workers, workers
+		return fingerprint([]any{RunFig14(a), RunFig15(b), RunFig16(b)})
+	}
+	serial := render(1)
+	if got := render(4); got != serial {
+		t.Fatalf("fig14-16 fingerprint differs: workers=4 %x vs serial %x", got, serial)
+	}
+}
+
 func TestCellCrossTrafficDeterministicAcrossWorkerCounts(t *testing.T) {
 	oc := CellOptions{Seed: 9, Placements: 4, Clients: 8, APs: 2, Packets: 40, Payload: 1460}
 	ox := CrossTrafficOptions{Seed: 10, Topologies: 3, Packets: 40, CrossFlows: 2,
@@ -74,6 +116,17 @@ func TestCellCrossTrafficDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	if got := fmt.Sprintf("%#v", RunCrossTraffic(ox)); got != wantX {
 		t.Fatalf("crosstraffic parallel output differs from serial")
+	}
+}
+
+func TestCellSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	o := CellSweepOptions{Seed: 11, Placements: 3, Cells: 2, APsPerCell: 2,
+		ClientsPer: []int{1, 4}, Packets: 20, Payload: 1460, CSRangeM: 30, CaptureDB: 10}
+	o.Workers = 1
+	want := fmt.Sprintf("%#v", RunCellSweep(o))
+	o.Workers = 4
+	if got := fmt.Sprintf("%#v", RunCellSweep(o)); got != want {
+		t.Fatalf("cellsweep parallel output differs from serial:\n%s\nvs\n%s", got, want)
 	}
 }
 

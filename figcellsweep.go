@@ -1,0 +1,192 @@
+package sourcesync
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dsp"
+	"repro/internal/engine"
+	"repro/internal/lasthop"
+	"repro/internal/mac"
+	"repro/internal/testbed"
+)
+
+// ------------------------------------------------------------- cellsweep
+
+// CellSweepOptions configures the multi-cell saturation sweep: C spatially
+// separated WLAN cells — adjacent cells sit beyond carrier-sense range, so
+// their downlinks reuse the medium concurrently — each holding M APs and N
+// backlogged clients, with N swept to trace saturation throughput versus
+// offered population for joint (SourceSync) and best-single-AP service.
+type CellSweepOptions struct {
+	Seed       int64
+	Placements int   // random AP/client placements per sweep point
+	Cells      int   // spatially separated cells (>= 1)
+	APsPerCell int   // M APs serving each cell
+	ClientsPer []int // sweep: clients per cell, one curve point each
+	Packets    int   // downlink packets per client
+	Payload    int
+	CSRangeM   float64 // carrier-sense range between transmitters (meters)
+	CaptureDB  float64 // SINR capture threshold (dB); 0 disables capture
+	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
+	// 1 runs serially. Results are identical either way.
+	Workers int
+}
+
+// DefaultCellSweepOptions returns the parameters used by ssbench: two
+// cells, two APs each, clients swept 1..8 per cell, 30 m carrier sense with
+// a 10 dB capture threshold.
+func DefaultCellSweepOptions() CellSweepOptions {
+	return CellSweepOptions{
+		Seed: 11, Placements: 10, Cells: 2, APsPerCell: 2,
+		ClientsPer: []int{1, 2, 4, 6, 8}, Packets: 60, Payload: 1460,
+		CSRangeM: 30, CaptureDB: 10,
+	}
+}
+
+// CellSweepPoint is one point of the saturation curve: medians across
+// placements at a fixed client count per cell.
+type CellSweepPoint struct {
+	ClientsPerCell int
+	SingleAggMbps  float64 // median aggregate, best single AP per client
+	JointAggMbps   float64 // median aggregate, SourceSync joint service
+	MedianGain     float64 // per-placement joint/single, median
+	// CollisionRate is the fraction of contention rounds whose transmit
+	// groups collided, averaged over the joint runs.
+	CollisionRate float64
+	// MeanUtilization is busy time over elapsed time in the joint runs;
+	// values above 1 mean several cells carried frames concurrently
+	// (spatial reuse at work).
+	MeanUtilization float64
+}
+
+// CellSweepResult is the full saturation-throughput-vs-clients sweep.
+type CellSweepResult struct {
+	Points []CellSweepPoint
+}
+
+// cellSpacing returns the distance between adjacent cell centers. APs sit
+// up to 10 m from their center, so the floor is spacing-20 between
+// worst-case cross-cell AP pairs; the CSRangeM+25 term keeps that floor at
+// least 5 m beyond carrier sense even when the range is small (below 20 m,
+// where 2x the range alone would let neighboring cells hear each other).
+func (o CellSweepOptions) cellSpacing() float64 {
+	if o.CSRangeM <= 0 {
+		return 60
+	}
+	return math.Max(2*o.CSRangeM, o.CSRangeM+25)
+}
+
+// buildMultiCell lays one placement out on a floor wide enough for every
+// cell: APs within 10 m of their cell center (and spread at least 4 m
+// apart), clients 8-25 m from the nearest AP of their own cell, exactly as
+// RunCell places a single cell. Client flows are ordered cell-major so runs
+// reduce deterministically.
+func buildMultiCell(rng *rand.Rand, env *testbed.Testbed, m mac.Params, o CellSweepOptions, clientsPer int) lasthop.Cell {
+	spacing := o.cellSpacing()
+	nClients := o.Cells * clientsPer
+	cell := lasthop.Cell{
+		Mac:              m,
+		PayloadBytes:     o.Payload,
+		Links:            make([][]testbed.Link, 0, nClients),
+		APPos:            make([][]testbed.Point, 0, nClients),
+		ClientPos:        make([]testbed.Point, 0, nClients),
+		PacketsPerClient: o.Packets,
+		CSRangeM:         o.CSRangeM,
+		CaptureDB:        o.CaptureDB,
+		Env:              env,
+	}
+	for c := 0; c < o.Cells; c++ {
+		center := testbed.Point{X: spacing/2 + float64(c)*spacing, Y: env.Height / 2}
+		aps := make([]testbed.Point, o.APsPerCell)
+		for a := range aps {
+			aps[a] = env.RandomPointWhere(rng, 100000, func(p testbed.Point) bool {
+				if testbed.Dist(p, center) > 10 {
+					return false
+				}
+				for _, q := range aps[:a] {
+					if testbed.Dist(p, q) < 4 {
+						return false
+					}
+				}
+				return true
+			})
+		}
+		for k := 0; k < clientsPer; k++ {
+			pos := env.RandomPointWhere(rng, 100000, func(p testbed.Point) bool {
+				nearest := testbed.Dist(p, aps[0])
+				for _, q := range aps[1:] {
+					if d := testbed.Dist(p, q); d < nearest {
+						nearest = d
+					}
+				}
+				return nearest >= 8 && nearest <= 25
+			})
+			links := make([]testbed.Link, o.APsPerCell)
+			for a := range aps {
+				links[a] = env.NewLink(rng, aps[a], pos)
+			}
+			cell.Links = append(cell.Links, links)
+			cell.APPos = append(cell.APPos, aps)
+			cell.ClientPos = append(cell.ClientPos, pos)
+		}
+	}
+	return cell
+}
+
+// RunCellSweep traces saturation throughput versus clients per cell across
+// spatially separated cells: every sweep point re-places APs and clients
+// Placements times, drains each client's backlog once with best-single-AP
+// service and once with SourceSync joint transmissions on one shared
+// spatial-reuse simulator, and reduces medians in placement order.
+func RunCellSweep(o CellSweepOptions) CellSweepResult {
+	cfg := Profile80211()
+	env := testbed.Mesh(cfg)
+	// Widen the floor to hold every cell; height (and the 8-25 m client
+	// annulus) stay as in the single-cell experiment.
+	env.Width = float64(o.Cells) * o.cellSpacing()
+	m := mac.Default(cfg)
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+
+	type plRes struct {
+		singleBps, jointBps   float64
+		collisionRate, utiliz float64
+	}
+	rows := engine.Grid(ec, len(o.ClientsPer), o.Placements, func(pt, pl int, rng *rand.Rand) plRes {
+		cell := buildMultiCell(rng, env, m, o, o.ClientsPer[pt])
+		single := cell.RunBestSingleAP(rand.New(rand.NewSource(rng.Int63())))
+		joint := cell.RunJoint(rand.New(rand.NewSource(rng.Int63())))
+		var cr float64
+		if joint.Acquisitions > 0 {
+			cr = float64(joint.Collisions) / float64(joint.Acquisitions)
+		}
+		return plRes{single.AggregateBps, joint.AggregateBps, cr, joint.Utilization}
+	})
+
+	res := CellSweepResult{Points: make([]CellSweepPoint, len(o.ClientsPer))}
+	for pt := range o.ClientsPer {
+		var singles, joints, gains []float64
+		var crSum, utSum float64
+		for _, r := range rows[pt] {
+			singles = append(singles, r.singleBps/1e6)
+			joints = append(joints, r.jointBps/1e6)
+			if r.singleBps > 0 {
+				gains = append(gains, r.jointBps/r.singleBps)
+			}
+			crSum += r.collisionRate
+			utSum += r.utiliz
+		}
+		p := CellSweepPoint{
+			ClientsPerCell: o.ClientsPer[pt],
+			SingleAggMbps:  dsp.Median(singles),
+			JointAggMbps:   dsp.Median(joints),
+			MedianGain:     dsp.Median(gains),
+		}
+		if n := len(rows[pt]); n > 0 {
+			p.CollisionRate = crSum / float64(n)
+			p.MeanUtilization = utSum / float64(n)
+		}
+		res.Points[pt] = p
+	}
+	return res
+}

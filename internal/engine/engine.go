@@ -20,6 +20,11 @@
 // selects one worker per logical CPU (GOMAXPROCS). Workers == 1 forces the
 // serial path, which runs the trial function inline on the calling
 // goroutine.
+//
+// Map schedules the trials of a single operating point; Grid schedules the
+// full points x trials cross product on one shared pool. The repository's
+// determinism contract — every experiment's stdout byte-identical at every
+// worker count, enforced by CI — is documented in docs/ARCHITECTURE.md.
 package engine
 
 import (

@@ -10,7 +10,11 @@
 // The package is a thin scenario layer: topology, delivery draws, and all
 // medium accounting (DCF timing, ARQ, the virtual clock) live in
 // internal/netsim — each routing scheme is expressed as a netsim flow, so
-// runs can share the medium with cross-traffic flows (RunWithCross).
+// runs can share the medium with cross-traffic flows (RunWithCross). Cross
+// flows carry their endpoints' testbed positions; with Sim.CSRangeM set
+// they contend only within carrier-sense range of each other, while the
+// routed flow — whose transmitter moves hop by hop — stays unplaced and
+// contends with everyone.
 package exor
 
 import (
@@ -106,6 +110,16 @@ type Sim struct {
 	// MaxTxPerPacket bounds the transmissions charged to one packet before
 	// it is declared lost (progress safeguard).
 	MaxTxPerPacket int
+	// CSRangeM is the carrier-sense range between transmitters, in meters;
+	// <= 0 (the default) keeps the classic single collision domain. When
+	// positive, cross flows carry their endpoints' topology positions and
+	// contend only with transmitters in range. The routed flow's
+	// transmitter moves hop by hop, so it stays unplaced and contends with
+	// everyone.
+	CSRangeM float64
+	// CaptureDB is the SINR threshold for physical-layer capture during
+	// collisions; 0 disables capture.
+	CaptureDB float64
 }
 
 // Result is the outcome of a scheme simulation. AirTime is the virtual
@@ -141,6 +155,9 @@ func (s *Sim) RunWithCross(rng *rand.Rand, scheme Scheme, nPackets int, cross []
 		s.MaxTxPerPacket = 40
 	}
 	sim := netsim.New(s.Mac, rng)
+	sim.CSRangeM = s.CSRangeM
+	sim.CaptureDB = s.CaptureDB
+	sim.Env = s.Topo.Env
 
 	// delivered counts end-to-end packets; a netsim "delivered frame" is
 	// one transmission or one hop, not one routed packet.
@@ -162,8 +179,13 @@ func (s *Sim) RunWithCross(rng *rand.Rand, scheme Scheme, nPackets int, cross []
 		cf := cf
 		remaining := cf.Packets
 		crossFlows[i] = sim.AddFlow(&netsim.Flow{
-			Name:       "cross",
-			Acked:      true,
+			Name:  "cross",
+			Acked: true,
+			Radio: &netsim.Radio{
+				TxPos: s.Topo.Positions[cf.From],
+				RxPos: s.Topo.Positions[cf.To],
+				SNRdB: s.Topo.Links[cf.From][cf.To].SNRdB,
+			},
 			HasTraffic: func() bool { return remaining > 0 },
 			FrameTime:  func(int) float64 { return ft },
 			Deliver: func(rng *rand.Rand, _ int) bool {

@@ -9,22 +9,38 @@ import (
 	"repro/internal/testbed"
 )
 
-// Cell describes a multi-client WLAN cell (§8.3 scaled up): N clients with
-// backlogged downlink traffic from M APs, all sharing one collision domain.
-// Every client's downlink is its own netsim flow with its own SampleRate
-// controller at the lead AP, so the clients contend for the medium exactly
-// as DCF stations do — the scenario the single-client Config cannot
-// express.
+// Cell describes a multi-client WLAN deployment (§8.3 scaled up): N clients
+// with backlogged downlink traffic, each served by its own set of APs, all
+// driven as contending netsim flows with per-client SampleRate controllers.
+// With only Links set the cell is one collision domain; with the spatial
+// fields set (positions, Env, CSRangeM) the clients may span several
+// carrier-sense neighborhoods — e.g. multiple cells of a building — and
+// downlinks out of range of each other reuse the medium concurrently.
 type Cell struct {
 	Mac          mac.Params
 	PayloadBytes int
-	// Links[c][a] is the AP a -> client c link.
+	// Links[c][a] is the a-th serving AP -> client c link. Rows may have
+	// different lengths (clients in different cells see different APs).
 	Links [][]testbed.Link
 	// DataCPIncrease is the extra cyclic prefix (samples) joint frames
 	// spend on residual misalignment.
 	DataCPIncrease int
 	// PacketsPerClient is each client's downlink backlog.
 	PacketsPerClient int
+
+	// Spatial reuse (optional; leave zero for one collision domain).
+	// APPos[c][a] is the position of client c's a-th serving AP, parallel
+	// to Links; ClientPos[c] is the client's own position.
+	APPos     [][]testbed.Point
+	ClientPos []testbed.Point
+	// CSRangeM is the carrier-sense range between transmitters (meters);
+	// <= 0 keeps every flow in one collision domain.
+	CSRangeM float64
+	// CaptureDB is the SINR threshold for physical-layer capture during
+	// collisions; 0 disables capture.
+	CaptureDB float64
+	// Env prices interference for the capture model.
+	Env *testbed.Testbed
 }
 
 // ClientResult is one client's share of a cell run.
@@ -43,61 +59,117 @@ type CellResult struct {
 	Elapsed      float64 // virtual seconds to drain every backlog
 	Acquisitions int
 	Collisions   int // collision rounds on the medium
-	Utilization  float64
+	// Utilization is busy time over elapsed time; under spatial reuse it
+	// may exceed 1 (several neighborhoods carrying frames at once).
+	Utilization float64
+}
+
+// clientPlan is one client's serving decision: its per-attempt reception
+// draw, its per-rate frame airtimes (joint service prices each client's
+// own co-sender count, so tables differ when Links rows are ragged), and,
+// when the cell is spatial, the geometry of its downlink flow.
+type clientPlan struct {
+	attempt func(*rand.Rand, int, *samplerate.SampleRate) bool
+	ft      []float64
+	radio   *netsim.Radio
+}
+
+// spatial reports whether the cell carries per-flow geometry.
+func (c Cell) spatial() bool {
+	return len(c.APPos) == len(c.Links) && len(c.ClientPos) == len(c.Links) && len(c.Links) > 0
+}
+
+// bestAP returns the index of client's highest-SNR serving AP.
+func (c Cell) bestAP(client int) int {
+	best := 0
+	for a := range c.Links[client] {
+		if c.Links[client][a].SNRdB > c.Links[client][best].SNRdB {
+			best = a
+		}
+	}
+	return best
+}
+
+// radioFor builds the netsim geometry of client's downlink when the cell is
+// spatial: the transmitter is the serving AP (ap), the receiver the client,
+// and the capture-signal SNR the serving link's average.
+func (c Cell) radioFor(client, ap int) *netsim.Radio {
+	if !c.spatial() {
+		return nil
+	}
+	return &netsim.Radio{
+		TxPos: c.APPos[client][ap],
+		RxPos: c.ClientPos[client],
+		SNRdB: c.Links[client][ap].SNRdB,
+	}
 }
 
 // RunBestSingleAP runs the cell with selective diversity: each client is
 // served by its best AP (highest average SNR), one frame in the air at a
-// time, per-client SampleRate.
+// time per neighborhood, per-client SampleRate.
 func (c Cell) RunBestSingleAP(rng *rand.Rand) CellResult {
 	ft := frameTimes(c.Mac, c.PayloadBytes, false, 0, 0)
-	return c.run(rng, ft, func(client int) func(*rand.Rand, int, *samplerate.SampleRate) bool {
-		best := 0
-		for a := range c.Links[client] {
-			if c.Links[client][a].SNRdB > c.Links[client][best].SNRdB {
-				best = a
-			}
-		}
+	return c.run(rng, func(client int) clientPlan {
+		best := c.bestAP(client)
 		link := c.Links[client][best]
-		return func(rng *rand.Rand, idx int, sr *samplerate.SampleRate) bool {
-			return netsim.LinkDeliver(rng, link, sr.Rate(idx), c.PayloadBytes)
+		return clientPlan{
+			attempt: func(rng *rand.Rand, idx int, sr *samplerate.SampleRate) bool {
+				return netsim.LinkDeliver(rng, link, sr.Rate(idx), c.PayloadBytes)
+			},
+			ft:    ft,
+			radio: c.radioFor(client, best),
 		}
 	})
 }
 
 // RunJoint runs the cell with SourceSync: every downlink frame is sent
-// jointly by all of the client's APs (summed per-subcarrier SNR), paying
-// the joint frame overhead.
+// jointly by all of the client's serving APs (summed per-subcarrier SNR),
+// paying the joint frame overhead. For carrier sense and capture the flow
+// is anchored at the lead (best) AP.
 func (c Cell) RunJoint(rng *rand.Rand) CellResult {
-	numCo := 0
-	for _, links := range c.Links {
-		if len(links)-1 > numCo {
-			numCo = len(links) - 1
-		}
-	}
+	// Each client pays the joint overhead of its own co-sender count, so
+	// ragged Links rows (clients served by different AP sets) are priced
+	// correctly. Frame-time tables are shared between clients with equal
+	// counts — SampleRate is per client regardless.
 	dataCP := c.Mac.Cfg.CPLen + c.DataCPIncrease
-	ft := frameTimes(c.Mac, c.PayloadBytes, true, numCo, dataCP)
-	return c.run(rng, ft, func(client int) func(*rand.Rand, int, *samplerate.SampleRate) bool {
+	ftByCo := map[int][]float64{}
+	return c.run(rng, func(client int) clientPlan {
 		links := c.Links[client]
-		return func(rng *rand.Rand, idx int, sr *samplerate.SampleRate) bool {
-			return netsim.JointLinkDeliver(rng, links, sr.Rate(idx), c.PayloadBytes)
+		numCo := len(links) - 1
+		ft, ok := ftByCo[numCo]
+		if !ok {
+			ft = frameTimes(c.Mac, c.PayloadBytes, true, numCo, dataCP)
+			ftByCo[numCo] = ft
+		}
+		return clientPlan{
+			attempt: func(rng *rand.Rand, idx int, sr *samplerate.SampleRate) bool {
+				return netsim.JointLinkDeliver(rng, links, sr.Rate(idx), c.PayloadBytes)
+			},
+			ft:    ft,
+			radio: c.radioFor(client, c.bestAP(client)),
 		}
 	})
 }
 
 // run wires one flow per client into a shared netsim and drains the
-// backlogs. deliver(client) returns the client's per-attempt reception
-// draw.
-func (c Cell) run(rng *rand.Rand, ft []float64, deliver func(client int) func(*rand.Rand, int, *samplerate.SampleRate) bool) CellResult {
+// backlogs. plan(client) returns the client's per-attempt reception draw,
+// frame-time table, and flow geometry.
+func (c Cell) run(rng *rand.Rand, plan func(client int) clientPlan) CellResult {
 	sim := netsim.New(c.Mac, rng)
+	sim.CSRangeM = c.CSRangeM
+	sim.CaptureDB = c.CaptureDB
+	sim.Env = c.Env
 	n := len(c.Links)
 	flows := make([]*netsim.Flow, n)
 	for client := 0; client < n; client++ {
-		sr := samplerate.New(ft)
+		p := plan(client)
+		sr := samplerate.New(p.ft)
 		remaining := c.PacketsPerClient
-		attempt := deliver(client)
+		attempt := p.attempt
+		ft := p.ft
 		flows[client] = sim.AddFlow(&netsim.Flow{
 			Acked:      true,
+			Radio:      p.radio,
 			HasTraffic: func() bool { return remaining > 0 },
 			Prepare: func(rng *rand.Rand) int {
 				idx, _ := sr.Pick(rng)

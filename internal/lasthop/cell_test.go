@@ -97,6 +97,58 @@ func TestCellJointBeatsBestSingleAtModerateSNR(t *testing.T) {
 	}
 }
 
+// spatialCells builds `cells` single-client cells whose APs sit `spacing`
+// meters apart, each client 10 m from its AP, as one spatial Cell.
+func spatialCells(cells int, spacing, csRange float64, packets int) Cell {
+	cfg := modem.Profile80211()
+	tb := testbed.Default(cfg)
+	links := make([][]testbed.Link, cells)
+	apPos := make([][]testbed.Point, cells)
+	clientPos := make([]testbed.Point, cells)
+	for c := 0; c < cells; c++ {
+		ap := testbed.Point{X: float64(c) * spacing, Y: 0}
+		links[c] = []testbed.Link{tb.LinkAtSNR(26, 10)}
+		apPos[c] = []testbed.Point{ap}
+		clientPos[c] = testbed.Point{X: ap.X + 10, Y: 0}
+	}
+	return Cell{
+		Mac:              mac.Default(cfg),
+		PayloadBytes:     1460,
+		Links:            links,
+		PacketsPerClient: packets,
+		APPos:            apPos,
+		ClientPos:        clientPos,
+		CSRangeM:         csRange,
+		Env:              tb,
+	}
+}
+
+func TestCellSpatialReuseScalesAggregate(t *testing.T) {
+	// Two cells beyond carrier-sense range must drain their backlogs nearly
+	// concurrently: aggregate throughput ~2x a single cell's, with the
+	// medium busy more than one neighborhood at a time.
+	one := spatialCells(1, 0, 30, 200).RunBestSingleAP(rand.New(rand.NewSource(7)))
+	two := spatialCells(2, 100, 30, 200).RunBestSingleAP(rand.New(rand.NewSource(8)))
+	ratio := two.AggregateBps / one.AggregateBps
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("two out-of-range cells gave %.2fx one cell's aggregate (%.1f vs %.1f Mbps), want ~2x",
+			ratio, two.AggregateBps/1e6, one.AggregateBps/1e6)
+	}
+	if two.Collisions != 0 {
+		t.Fatalf("out-of-range cells collided %d times", two.Collisions)
+	}
+	if two.Utilization <= 1 {
+		t.Fatalf("utilization %.2f should exceed 1 under spatial reuse", two.Utilization)
+	}
+	// The same two cells inside one carrier-sense range must split the
+	// medium instead.
+	shared := spatialCells(2, 10, 30, 200).RunBestSingleAP(rand.New(rand.NewSource(8)))
+	if shared.AggregateBps > 1.25*one.AggregateBps {
+		t.Fatalf("in-range cells should share, not scale: %.1f vs %.1f Mbps",
+			shared.AggregateBps/1e6, one.AggregateBps/1e6)
+	}
+}
+
 func TestCellDeterministicGivenSeed(t *testing.T) {
 	c := uniformCell(6, 12, 80)
 	a := c.RunJoint(rand.New(rand.NewSource(6)))

@@ -1,8 +1,20 @@
-// Package lasthop implements the paper's WLAN downlink experiment (§7.1,
-// §8.3): a client associated with multiple APs, downlink data forwarded to
-// all of them by a wired-side controller, the lead AP running SampleRate,
-// and either a single AP transmitting (selective diversity baseline) or all
-// APs transmitting jointly with SourceSync.
+// Package lasthop implements the paper's WLAN downlink experiments (§7.1,
+// §8.3): clients associated with multiple APs, downlink data forwarded to
+// all of them by a wired-side controller, per-client SampleRate at the lead
+// AP, and either a single AP transmitting (selective diversity baseline) or
+// all APs transmitting jointly with SourceSync.
+//
+// Two scenario shapes are provided, both thin layers over internal/netsim
+// (which owns the clock, DCF contention, and delivery draws):
+//
+//   - Config — the paper's single client: one downlink, no contention,
+//     RunSingleAP / RunBestSingleAP / RunJoint per serving mode.
+//   - Cell — N clients with backlogged downlinks contending as DCF
+//     stations. With its spatial fields set (AP and client positions, a
+//     carrier-sense range, an optional capture threshold) the clients may
+//     span several cells of a building, and downlinks out of carrier-sense
+//     range of each other reuse the medium concurrently — the geometry the
+//     cellsweep experiment sweeps.
 package lasthop
 
 import (

@@ -1,39 +1,71 @@
 // Package netsim is a packet-level, virtual-time network simulator for the
-// throughput experiments: one 802.11 collision domain in which any number of
-// traffic flows contend for the medium under DCF, with per-flow ARQ, rate
-// control hooks, and joint-transmission sender groups.
+// throughput experiments: traffic flows contend for the wireless medium
+// under DCF, with per-flow ARQ, rate control hooks, joint-transmission
+// sender groups, and — when flows carry positions — spatial reuse across
+// several carrier-sense neighborhoods.
 //
 // The medium model is deliberately packet-level, not sample-level: the PHY
 // packages settle what a frame costs (airtimes from the modem's symbol
 // accounting via internal/mac) and how likely it is to be received
 // (per-subcarrier SNR draws through internal/permodel); netsim owns the
-// clock and the contention between transmissions. One Step is one medium
-// acquisition:
+// clock and the contention between transmissions. One Step is one
+// contention round:
 //
-//  1. Every backlogged flow draws a DCF backoff from its retry-dependent
-//     contention window (in flow order, so RNG consumption — and therefore
-//     the whole run — is deterministic for a given seed).
-//  2. The minimum draw wins the medium. A tie is a collision: all tied
-//     flows transmit and none deliver; acked flows retry with a doubled
-//     window, unacked flows lose the frame outright.
-//  3. The virtual clock advances by DIFS + backoff + frame airtime, plus
-//     the ACK exchange on success or the ACK timeout on failure.
+//  1. Every backlogged flow holds a DCF backoff counter in whole slots,
+//     drawn from its retry-dependent contention window when it enters
+//     contention or after its own transmission attempt (in flow order, so
+//     RNG consumption — and therefore the whole run — is deterministic for
+//     a given seed). Counters are frozen, as in real DCF: a flow that loses
+//     a round keeps its counter, minus the idle slots that elapsed before
+//     its neighborhood went busy, instead of redrawing.
+//  2. Flows transmit or defer in (counter, registration) order: a flow
+//     defers iff a flow already transmitting within its carrier-sense range
+//     holds a strictly smaller counter. Flows out of range of every
+//     transmitter proceed concurrently — spatial reuse. In-range flows with
+//     equal counters collide.
+//  3. A collision normally destroys every frame in the group, but when a
+//     capture threshold is configured a colliding frame whose SINR at its
+//     own receiver clears the threshold is received as if it were alone
+//     (physical-layer capture; interference power comes from the testbed's
+//     median path loss, so no randomness is consumed).
+//  4. The virtual clock advances by the longest concurrent transmission:
+//     DIFS + backoff + frame airtime, plus the ACK exchange on success or
+//     the ACK timeout on failure.
+//
+// Carrier sense is pairwise between transmitter positions (Sim.CSRangeM);
+// with the zero configuration — no range, or flows without Radio info —
+// every flow contends with every other and the simulator degenerates to the
+// single collision domain of the original model. Interference between
+// concurrent out-of-range transmissions (hidden terminals) is not modeled:
+// frames fail only by collision within a neighborhood or by their own
+// delivery draw.
 //
 // Retries re-enter contention (as in real DCF) rather than holding the
-// medium. Losing flows redraw their backoff next round — a memoryless
-// simplification of DCF's frozen counters that keeps draws independent of
-// scheduling history.
-//
-// Scenario packages (internal/lasthop, internal/exor) define flows over
-// this core instead of hand-rolling DIFS/backoff/ACK arithmetic.
+// medium. Scenario packages (internal/lasthop, internal/exor) define flows
+// over this core instead of hand-rolling DIFS/backoff/ACK arithmetic.
 package netsim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/mac"
+	"repro/internal/testbed"
 )
+
+// Radio is a flow's geometry, used for spatial reuse and capture: where its
+// transmitter and its receiver sit on the floor, and the mean SNR of the
+// serving link at that receiver. Flows without Radio info contend with
+// every other flow and never capture.
+type Radio struct {
+	TxPos testbed.Point
+	RxPos testbed.Point
+	// SNRdB is the serving link's average SNR at RxPos (shadowing included,
+	// fading excluded) — the signal term of the capture SINR.
+	SNRdB float64
+}
 
 // Flow is one contending traffic stream. The simulator drives it frame by
 // frame through the hooks; all hooks see the simulator's RNG so runs stay
@@ -45,6 +77,9 @@ type Flow struct {
 	// Unacknowledged flows (broadcast-style, e.g. ExOR forwarding) get
 	// exactly one attempt per frame.
 	Acked bool
+	// Radio places the flow for spatial reuse; nil means the flow is heard
+	// everywhere (single-collision-domain behavior).
+	Radio *Radio
 
 	// HasTraffic reports whether the flow wants the medium. Nil means the
 	// flow never contends.
@@ -68,6 +103,7 @@ type Flow struct {
 	Dropped    int     // frames dropped (retry limit, or unacked failure)
 	Attempts   int     // transmission attempts, including collisions
 	Collisions int     // attempts lost to collisions
+	Captures   int     // colliding attempts that survived by capture
 	AirTime    float64 // medium time consumed by this flow's own attempts
 
 	// Head-of-line frame state.
@@ -75,13 +111,37 @@ type Flow struct {
 	rateIdx  int
 	attempt  int
 	frameAir float64
+
+	// Contention state: the frozen DCF backoff counter, in whole slots.
+	// counterValid distinguishes a counter of zero from "needs a draw".
+	counter      int
+	counterValid bool
+	txRound      bool // transmitting in the current round (scratch)
+	grouped      bool // already assigned to a transmit group (scratch)
 }
 
-// Sim is one collision domain with a virtual clock.
+// Sim is a shared medium with a virtual clock. With the zero spatial
+// configuration it is one collision domain; with CSRangeM set and flows
+// carrying Radio info, it is a floor of overlapping carrier-sense
+// neighborhoods that reuse the medium concurrently.
 type Sim struct {
 	Mac   mac.Params
 	Rng   *rand.Rand
 	Flows []*Flow
+
+	// CSRangeM is the carrier-sense range in meters: two flows contend only
+	// when their transmitters are within it. <= 0 means every flow contends
+	// with every other (one collision domain). Flows without Radio info
+	// always contend with everyone.
+	CSRangeM float64
+	// CaptureDB enables physical-layer capture: a colliding frame whose
+	// SINR at its own receiver is at least this many dB is received as if
+	// it were alone. 0 disables capture (every collision destroys all
+	// frames). Requires Env and per-flow Radio info.
+	CaptureDB float64
+	// Env supplies the median path loss used to price interference for the
+	// capture model (deterministic — capture consumes no randomness).
+	Env *testbed.Testbed
 
 	// MaxSteps bounds Run as a safety net against scenarios whose flows
 	// never drain; 0 means a generous default.
@@ -90,13 +150,14 @@ type Sim struct {
 	now  float64 // virtual time, seconds
 	busy float64 // time the medium carried frames (airtime, ACKs)
 
-	Acquisitions    int // medium acquisitions (Steps that found traffic)
-	CollisionRounds int // acquisitions that ended in a collision
+	Acquisitions    int // contention rounds that found traffic
+	CollisionRounds int // transmit groups that collided (>1 simultaneous frame)
 
 	// Scratch buffers reused across Steps (the hot loop).
 	contenders []*Flow
-	winners    []*Flow
-	slots      []int
+	order      []*Flow
+	txs        []*Flow
+	group      []*Flow
 }
 
 // New returns a simulator over the given MAC timing, drawing all randomness
@@ -115,7 +176,8 @@ func (s *Sim) AddFlow(f *Flow) *Flow {
 func (s *Sim) Now() float64 { return s.now }
 
 // BusyTime returns the virtual time the medium spent carrying frames and
-// acknowledgments (the rest is DIFS, backoff, and ACK timeouts).
+// acknowledgments, summed over concurrent neighborhoods — under spatial
+// reuse it may exceed Now (utilization above 1 is the reuse win).
 func (s *Sim) BusyTime() float64 { return s.busy }
 
 // backoffSlots draws a backoff in whole slots for the given retry attempt.
@@ -123,8 +185,39 @@ func (s *Sim) backoffSlots(attempt int) int {
 	return s.Rng.Intn(s.Mac.CW(attempt) + 1)
 }
 
-// Step performs one medium acquisition. It returns false — without
-// consuming randomness or advancing the clock — once no flow has traffic.
+// contends reports whether two flows share a carrier-sense neighborhood.
+func (s *Sim) contends(f, g *Flow) bool {
+	if s.CSRangeM <= 0 || f.Radio == nil || g.Radio == nil {
+		return true
+	}
+	return testbed.Dist(f.Radio.TxPos, g.Radio.TxPos) <= s.CSRangeM
+}
+
+// captures reports whether f's frame survives a collision with the rest of
+// its transmit group: its SINR — serving-link SNR over the summed median
+// interference of the other colliders at f's receiver, plus noise — clears
+// the capture threshold. Deterministic: no RNG is consumed.
+func (s *Sim) captures(f *Flow, group []*Flow) bool {
+	if s.CaptureDB <= 0 || s.Env == nil || f.Radio == nil {
+		return false
+	}
+	interf := 0.0
+	for _, g := range group {
+		if g == f {
+			continue
+		}
+		if g.Radio == nil {
+			return false // unknown interferer geometry: no capture
+		}
+		d := testbed.Dist(g.Radio.TxPos, f.Radio.RxPos)
+		interf += math.Pow(10, s.Env.MeanSNRdB(d)/10)
+	}
+	sinr := math.Pow(10, f.Radio.SNRdB/10) / (1 + interf)
+	return 10*math.Log10(sinr) >= s.CaptureDB
+}
+
+// Step performs one contention round. It returns false — without consuming
+// randomness or advancing the clock — once no flow has traffic.
 func (s *Sim) Step() bool {
 	// Contenders, in flow order: deterministic RNG consumption.
 	contenders := s.contenders[:0]
@@ -138,8 +231,8 @@ func (s *Sim) Step() bool {
 		return false
 	}
 
-	minSlots := -1
-	slots := s.slots[:0]
+	// New head-of-line frames prepare, and flows without a live counter
+	// draw one — both in flow order.
 	for _, f := range contenders {
 		if !f.inFlight {
 			f.inFlight = true
@@ -150,89 +243,181 @@ func (s *Sim) Step() bool {
 				f.rateIdx = f.Prepare(s.Rng)
 			}
 		}
-		b := s.backoffSlots(f.attempt)
-		slots = append(slots, b)
-		if minSlots < 0 || b < minSlots {
-			minSlots = b
+		if !f.counterValid {
+			f.counter = s.backoffSlots(f.attempt)
+			f.counterValid = true
 		}
 	}
-	s.slots = slots
-	winners := s.winners[:0]
-	for i, f := range contenders {
-		if slots[i] == minSlots {
-			winners = append(winners, f)
-		}
-	}
-	s.winners = winners
 	s.Acquisitions++
-	wait := s.Mac.DIFS() + float64(minSlots)*s.Mac.SlotTime
 
-	if len(winners) > 1 {
-		s.collide(winners, wait)
-		return true
+	// Transmit/defer decision in (counter, registration) order: a flow
+	// defers iff some already-transmitting flow within carrier-sense range
+	// holds a strictly smaller counter; in-range equal counters collide;
+	// out-of-range flows proceed concurrently.
+	order := append(s.order[:0], contenders...)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].counter < order[j].counter })
+	s.order = order
+	txs := s.txs[:0]
+	for _, f := range order {
+		blocked := false
+		for _, g := range txs {
+			if g.counter < f.counter && s.contends(f, g) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		f.txRound = true
+		txs = append(txs, f)
 	}
+	s.txs = txs
 
-	f := winners[0]
-	ft := f.FrameTime(f.rateIdx)
-	ok := f.Deliver(s.Rng, f.rateIdx)
-	f.Attempts++
-	cost := wait + ft
-	busy := ft
-	if f.Acked {
-		if ok {
-			ack := s.Mac.SIFS + s.Mac.AckDuration()
-			cost += ack
-			busy += ack
-		} else {
-			cost += s.Mac.AckTimeout()
+	// Settle each transmit group — the connected components of the
+	// "contends and equal counter" relation over the transmitters, walked
+	// in registration order so delivery draws stay deterministic. The round
+	// lasts as long as its longest group.
+	var elapsed float64
+	for _, f := range contenders { // registration order
+		if !f.txRound || f.grouped {
+			continue
+		}
+		group := append(s.group[:0], f)
+		f.grouped = true
+		for i := 0; i < len(group); i++ {
+			for _, g := range contenders {
+				if g.txRound && !g.grouped && g.counter == group[i].counter && s.contends(g, group[i]) {
+					g.grouped = true
+					group = append(group, g)
+				}
+			}
+		}
+		s.group = group
+		if t := s.transmitGroup(group); t > elapsed {
+			elapsed = t
 		}
 	}
-	f.frameAir += cost
-	f.AirTime += cost
-	s.now += cost
-	s.busy += busy
-	if ok {
-		s.finishFrame(f, true)
-	} else {
-		s.failAttempt(f)
+
+	// Losing contenders count down the idle slots their neighborhood saw
+	// before going busy, then freeze (DCF frozen backoff). Transmitters
+	// redraw next round with their updated retry window.
+	for _, f := range contenders {
+		if f.txRound {
+			continue
+		}
+		min := -1
+		for _, g := range txs {
+			if s.contends(f, g) && (min < 0 || g.counter < min) {
+				min = g.counter
+			}
+		}
+		if min > 0 {
+			f.counter -= min
+		}
 	}
+	for _, f := range txs {
+		f.txRound = false
+		f.grouped = false
+		f.counterValid = false
+	}
+	s.now += elapsed
 	return true
 }
 
-// collide settles an acquisition in which several flows drew the same slot:
-// all transmit simultaneously, none deliver. The medium is occupied for the
-// longest colliding frame; each collider is billed its own frame (they
-// overlap in real time, but per-flow attribution is what rate control sees).
-func (s *Sim) collide(winners []*Flow, wait float64) {
+// transmitGroup settles one simultaneous transmission: a lone winner
+// delivers normally; a collision destroys every frame except those that
+// capture. It returns the group's elapsed time (its neighborhood's share of
+// the round) and charges each member its own attempt cost.
+func (s *Sim) transmitGroup(group []*Flow) float64 {
+	wait := s.Mac.DIFS() + float64(group[0].counter)*s.Mac.SlotTime
+
+	if len(group) == 1 {
+		f := group[0]
+		ft := f.FrameTime(f.rateIdx)
+		ok := f.Deliver(s.Rng, f.rateIdx)
+		f.Attempts++
+		cost := wait + ft
+		busy := ft
+		if f.Acked {
+			if ok {
+				ack := s.Mac.SIFS + s.Mac.AckDuration()
+				cost += ack
+				busy += ack
+			} else {
+				cost += s.Mac.AckTimeout()
+			}
+		}
+		f.frameAir += cost
+		f.AirTime += cost
+		s.busy += busy
+		if ok {
+			s.finishFrame(f, true)
+		} else {
+			s.failAttempt(f)
+		}
+		return cost
+	}
+
+	// Collision. The medium is occupied for the longest colliding frame;
+	// each collider is billed its own frame (they overlap in real time, but
+	// per-flow attribution is what rate control sees).
 	s.CollisionRounds++
 	var maxFT float64
-	anyAcked := false
-	for _, f := range winners {
-		ft := f.FrameTime(f.rateIdx)
-		if ft > maxFT {
+	for _, f := range group {
+		if ft := f.FrameTime(f.rateIdx); ft > maxFT {
 			maxFT = ft
 		}
+	}
+	anyAcked, ackedDelivery := false, false
+	for _, f := range group {
+		ft := f.FrameTime(f.rateIdx)
+		f.Attempts++
+		cost := wait + ft
+		if s.captures(f, group) {
+			// Physical-layer capture: the frame is decoded against its own
+			// fading draw as if it were alone.
+			f.Captures++
+			ok := f.Deliver(s.Rng, f.rateIdx)
+			if f.Acked {
+				anyAcked = true
+				if ok {
+					cost += s.Mac.SIFS + s.Mac.AckDuration()
+					ackedDelivery = true
+				} else {
+					cost += s.Mac.AckTimeout()
+				}
+			}
+			f.frameAir += cost
+			f.AirTime += cost
+			if ok {
+				s.finishFrame(f, true)
+			} else {
+				s.failAttempt(f)
+			}
+			continue
+		}
+		f.Collisions++
 		if f.Acked {
 			anyAcked = true
-		}
-		f.Attempts++
-		f.Collisions++
-		cost := wait + ft
-		if f.Acked {
 			cost += s.Mac.AckTimeout()
 		}
 		f.frameAir += cost
 		f.AirTime += cost
-	}
-	elapsed := wait + maxFT
-	if anyAcked {
-		elapsed += s.Mac.AckTimeout()
-	}
-	s.now += elapsed
-	s.busy += maxFT
-	for _, f := range winners {
 		s.failAttempt(f)
 	}
+	elapsed := wait + maxFT
+	busy := maxFT
+	switch {
+	case ackedDelivery:
+		ack := s.Mac.SIFS + s.Mac.AckDuration()
+		elapsed += ack
+		busy += ack
+	case anyAcked:
+		elapsed += s.Mac.AckTimeout()
+	}
+	s.busy += busy
+	return elapsed
 }
 
 // failAttempt advances a flow past a failed attempt: unacked flows complete
@@ -275,6 +460,6 @@ func (s *Sim) Run() {
 			return
 		}
 	}
-	panic(fmt.Sprintf("netsim: %d flows still backlogged after %d medium acquisitions — a flow's backlog never drains",
+	panic(fmt.Sprintf("netsim: %d flows still backlogged after %d contention rounds — a flow's backlog never drains",
 		len(s.Flows), max))
 }

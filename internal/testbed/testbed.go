@@ -73,6 +73,13 @@ func (t *Testbed) NoiseFloorDBm() float64 {
 	return channel.NoiseFloorDBm(t.Cfg.SampleRateHz, t.NoiseFigureDB)
 }
 
+// MeanSNRdB returns the median-shadowing SNR a transmission would have at
+// distance d — the deterministic link budget (no RNG drawn) netsim's
+// capture model uses to price interference from a concurrent transmitter.
+func (t *Testbed) MeanSNRdB(d float64) float64 {
+	return channel.SNRFromBudget(t.TxPowerDBm, t.PL.LossDB(d, nil), t.NoiseFloorDBm())
+}
+
 // RandomPoint draws a uniform position on the floor.
 func (t *Testbed) RandomPoint(rng *rand.Rand) Point {
 	return Point{X: rng.Float64() * t.Width, Y: rng.Float64() * t.Height}
