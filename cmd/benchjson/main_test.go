@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkSaturatedDomain    \t       1\t    321815 ns/op\t   1245489 frames/s", "repro/internal/netsim")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if b.Name != "BenchmarkSaturatedDomain" || b.Package != "repro/internal/netsim" {
+		t.Fatalf("identity: %+v", b)
+	}
+	if b.Iterations != 1 || b.NsPerOp != 321815 {
+		t.Fatalf("timing: %+v", b)
+	}
+	if b.Metrics["frames/s"] != 1245489 {
+		t.Fatalf("metrics: %+v", b.Metrics)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  \trepro/internal/netsim\t0.004s",
+		"pkg: repro/internal/netsim",
+		"goos: linux",
+		"--- BENCH: BenchmarkFoo",
+		"BenchmarkBroken notanumber 12 ns/op",
+		"BenchmarkNoNsPerOp 1 42 frames/s", // ns/op is mandatory
+	} {
+		if _, ok := parseBenchLine(line, ""); ok {
+			t.Fatalf("accepted noise line %q", line)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,6 +26,8 @@ var (
 	quick    = flag.Bool("quick", false, "run shrunken workloads (~10x faster)")
 	parallel = flag.Bool("parallel", true, "fan trials out across all CPUs (results are identical either way)")
 	nworkers = flag.Int("workers", 0, "worker count when -parallel (0 = GOMAXPROCS)")
+	list     = flag.Bool("list", false, "print the registered experiment names, one per line, and exit (CI loops over this)")
+	cells    = flag.String("cells", "1,2,3", "comma-separated cell counts for cellsweep's capacity-vs-cell-count table")
 )
 
 // experimentNames lists every registered experiment in the order `all`
@@ -46,6 +49,12 @@ func workers() int {
 
 func main() {
 	flag.Parse()
+	if *list {
+		for _, e := range experimentNames {
+			fmt.Println(e)
+		}
+		return
+	}
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
@@ -61,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] <%s|all>\n",
+	fmt.Fprintf(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] [-cells N,N,...] <%s|all>\n       ssbench -list\n",
 		strings.Join(experimentNames, "|"))
 }
 
@@ -245,6 +254,12 @@ func cell() {
 }
 
 func cellsweep() {
+	// Validate the flag before the (expensive) clients-per-cell sweep runs.
+	counts, err := parseCellCounts(*cells)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -cells %q: %v\n", *cells, err)
+		os.Exit(2)
+	}
 	header("Cellsweep — saturation throughput vs clients per cell (multi-cell spatial reuse)")
 	o := sourcesync.DefaultCellSweepOptions()
 	o.Seed = *seed + 10
@@ -254,12 +269,38 @@ func cellsweep() {
 	res := sourcesync.RunCellSweep(o)
 	fmt.Printf("cells=%d aps/cell=%d packets/client=%d cs-range=%.0fm capture=%.0fdB\n",
 		o.Cells, o.APsPerCell, o.Packets, o.CSRangeM, o.CaptureDB)
-	fmt.Printf("%10s %14s %14s %8s %8s %8s\n", "clients", "single(Mbps)", "joint(Mbps)", "gain", "collis", "util")
+	fmt.Printf("%10s %14s %14s %8s %8s %8s %8s\n", "clients", "single(Mbps)", "joint(Mbps)", "gain", "collis", "hidden", "util")
 	for _, p := range res.Points {
-		fmt.Printf("%10d %14.2f %14.2f %7.2fx %8.3f %8.2f\n",
-			p.ClientsPerCell, p.SingleAggMbps, p.JointAggMbps, p.MedianGain, p.CollisionRate, p.MeanUtilization)
+		fmt.Printf("%10d %14.2f %14.2f %7.2fx %8.3f %8.3f %8.2f\n",
+			p.ClientsPerCell, p.SingleAggMbps, p.JointAggMbps, p.MedianGain, p.CollisionRate, p.HiddenRate, p.MeanUtilization)
 	}
 	fmt.Println("utilization above 1 = cells beyond carrier-sense range carrying frames concurrently")
+
+	clientsPer := shrink(4)
+	pts := sourcesync.RunCellCountSweep(o, counts, clientsPer)
+	fmt.Printf("\ncapacity vs cell count (clients/cell=%d):\n", clientsPer)
+	fmt.Printf("%10s %14s %14s %8s %8s %8s %8s\n", "cells", "single(Mbps)", "joint(Mbps)", "gain", "collis", "hidden", "util")
+	for _, p := range pts {
+		fmt.Printf("%10d %14.2f %14.2f %7.2fx %8.3f %8.3f %8.2f\n",
+			p.Cells, p.SingleAggMbps, p.JointAggMbps, p.MedianGain, p.CollisionRate, p.HiddenRate, p.MeanUtilization)
+	}
+	fmt.Println("capacity should scale near-linearly with cell count (AirSync-style spatial reuse)")
+}
+
+// parseCellCounts parses the -cells flag: positive integers, comma-separated.
+func parseCellCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("cell count %d < 1", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func crosstraffic() {

@@ -124,9 +124,13 @@ func TestCellSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 		ClientsPer: []int{1, 4}, Packets: 20, Payload: 1460, CSRangeM: 30, CaptureDB: 10}
 	o.Workers = 1
 	want := fmt.Sprintf("%#v", RunCellSweep(o))
+	wantC := fmt.Sprintf("%#v", RunCellCountSweep(o, []int{1, 3}, 2))
 	o.Workers = 4
 	if got := fmt.Sprintf("%#v", RunCellSweep(o)); got != want {
 		t.Fatalf("cellsweep parallel output differs from serial:\n%s\nvs\n%s", got, want)
+	}
+	if got := fmt.Sprintf("%#v", RunCellCountSweep(o, []int{1, 3}, 2)); got != wantC {
+		t.Fatalf("cell-count sweep parallel output differs from serial:\n%s\nvs\n%s", got, wantC)
 	}
 }
 

@@ -27,20 +27,26 @@ type CellSweepOptions struct {
 	Packets    int   // downlink packets per client
 	Payload    int
 	CSRangeM   float64 // carrier-sense range between transmitters (meters)
-	CaptureDB  float64 // SINR capture threshold (dB); 0 disables capture
+	// CaptureDB is the SINR threshold of netsim's interference model: it
+	// gates physical-layer capture within collisions and decode against
+	// hidden-terminal interference from out-of-range cells. 0 disables
+	// both.
+	CaptureDB float64
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
 }
 
 // DefaultCellSweepOptions returns the parameters used by ssbench: two
-// cells, two APs each, clients swept 1..8 per cell, 30 m carrier sense with
-// a 10 dB capture threshold.
+// cells, two APs each, clients swept 1..8 per cell, 30 m carrier sense
+// with a 6 dB SINR threshold — roughly the decode margin of the robust
+// rates, so hidden-terminal corruption bites at cell boundaries without
+// drowning the reuse the sweep exists to measure.
 func DefaultCellSweepOptions() CellSweepOptions {
 	return CellSweepOptions{
 		Seed: 11, Placements: 10, Cells: 2, APsPerCell: 2,
 		ClientsPer: []int{1, 2, 4, 6, 8}, Packets: 60, Payload: 1460,
-		CSRangeM: 30, CaptureDB: 10,
+		CSRangeM: 30, CaptureDB: 6,
 	}
 }
 
@@ -51,12 +57,18 @@ type CellSweepPoint struct {
 	SingleAggMbps  float64 // median aggregate, best single AP per client
 	JointAggMbps   float64 // median aggregate, SourceSync joint service
 	MedianGain     float64 // per-placement joint/single, median
-	// CollisionRate is the fraction of contention rounds whose transmit
+	// CollisionRate is the fraction of medium acquisitions whose transmit
 	// groups collided, averaged over the joint runs.
 	CollisionRate float64
+	// HiddenRate is hidden-terminal corruptions per medium acquisition,
+	// averaged over the joint runs: concurrent out-of-range downlinks
+	// corrupting each other at the receivers.
+	HiddenRate float64
 	// MeanUtilization is busy time over elapsed time in the joint runs;
 	// values above 1 mean several cells carried frames concurrently
-	// (spatial reuse at work).
+	// (spatial reuse at work). With the event-driven per-neighborhood
+	// clock it approaches the cell count under saturation, minus what
+	// hidden terminals and DCF overhead take.
 	MeanUtilization float64
 }
 
@@ -65,16 +77,20 @@ type CellSweepResult struct {
 	Points []CellSweepPoint
 }
 
-// cellSpacing returns the distance between adjacent cell centers. APs sit
-// up to 10 m from their center, so the floor is spacing-20 between
-// worst-case cross-cell AP pairs; the CSRangeM+25 term keeps that floor at
-// least 5 m beyond carrier sense even when the range is small (below 20 m,
-// where 2x the range alone would let neighboring cells hear each other).
+// cellSpacing returns the distance between adjacent cell centers. Two
+// constraints set the floor: APs sit up to 10 m from their center, so
+// cross-cell AP pairs are spacing-20 apart and must clear carrier sense
+// (the 2x term); and clients roam up to 35 m from their center (25 m from
+// an AP that is itself 10 m out), so a client's distance to a foreign
+// cell's AP bottoms out at spacing-45 — the CSRangeM+45 term keeps even
+// that worst-case receiver a full carrier-sense range from the hidden
+// transmitters next door, bounding (not eliminating) hidden-terminal
+// corruption at cell boundaries.
 func (o CellSweepOptions) cellSpacing() float64 {
 	if o.CSRangeM <= 0 {
 		return 60
 	}
-	return math.Max(2*o.CSRangeM, o.CSRangeM+25)
+	return math.Max(2*o.CSRangeM, o.CSRangeM+45)
 }
 
 // buildMultiCell lays one placement out on a floor wide enough for every
@@ -134,6 +150,68 @@ func buildMultiCell(rng *rand.Rand, env *testbed.Testbed, m mac.Params, o CellSw
 	return cell
 }
 
+// sweepPlacement is one placement's joint-vs-single comparison, shared by
+// the clients-per-cell and cell-count sweeps.
+type sweepPlacement struct {
+	singleBps, jointBps       float64
+	collisionRate, hiddenRate float64
+	utiliz                    float64
+}
+
+// runPlacement lays out one multi-cell placement and drains it under both
+// serving modes on the shared spatial-reuse simulator.
+func runPlacement(rng *rand.Rand, env *testbed.Testbed, m mac.Params, o CellSweepOptions, clientsPer int) sweepPlacement {
+	cell := buildMultiCell(rng, env, m, o, clientsPer)
+	single := cell.RunBestSingleAP(rand.New(rand.NewSource(rng.Int63())))
+	joint := cell.RunJoint(rand.New(rand.NewSource(rng.Int63())))
+	r := sweepPlacement{
+		singleBps: single.AggregateBps,
+		jointBps:  joint.AggregateBps,
+		utiliz:    joint.Utilization,
+	}
+	if joint.Acquisitions > 0 {
+		r.collisionRate = float64(joint.Collisions) / float64(joint.Acquisitions)
+		r.hiddenRate = float64(joint.HiddenLosses) / float64(joint.Acquisitions)
+	}
+	return r
+}
+
+// meanPlacement and aggMedians are reducePlacements' two views of a sweep
+// point: rate/utilization means, and Mbps/gain medians.
+type meanPlacement struct {
+	collisionRate, hiddenRate, utiliz float64
+}
+type aggMedians struct {
+	single, joint, gain float64
+}
+
+// reducePlacements folds one sweep point's placements (in placement order,
+// so float accumulation is deterministic) into means and medians.
+func reducePlacements(rows []sweepPlacement) (meanPlacement, aggMedians) {
+	var singles, joints, gains []float64
+	var mp meanPlacement
+	for _, r := range rows {
+		singles = append(singles, r.singleBps/1e6)
+		joints = append(joints, r.jointBps/1e6)
+		if r.singleBps > 0 {
+			gains = append(gains, r.jointBps/r.singleBps)
+		}
+		mp.collisionRate += r.collisionRate
+		mp.hiddenRate += r.hiddenRate
+		mp.utiliz += r.utiliz
+	}
+	if n := len(rows); n > 0 {
+		mp.collisionRate /= float64(n)
+		mp.hiddenRate /= float64(n)
+		mp.utiliz /= float64(n)
+	}
+	return mp, aggMedians{
+		single: dsp.Median(singles),
+		joint:  dsp.Median(joints),
+		gain:   dsp.Median(gains),
+	}
+}
+
 // RunCellSweep traces saturation throughput versus clients per cell across
 // spatially separated cells: every sweep point re-places APs and clients
 // Placements times, drains each client's backlog once with best-single-AP
@@ -148,45 +226,69 @@ func RunCellSweep(o CellSweepOptions) CellSweepResult {
 	m := mac.Default(cfg)
 	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
 
-	type plRes struct {
-		singleBps, jointBps   float64
-		collisionRate, utiliz float64
-	}
-	rows := engine.Grid(ec, len(o.ClientsPer), o.Placements, func(pt, pl int, rng *rand.Rand) plRes {
-		cell := buildMultiCell(rng, env, m, o, o.ClientsPer[pt])
-		single := cell.RunBestSingleAP(rand.New(rand.NewSource(rng.Int63())))
-		joint := cell.RunJoint(rand.New(rand.NewSource(rng.Int63())))
-		var cr float64
-		if joint.Acquisitions > 0 {
-			cr = float64(joint.Collisions) / float64(joint.Acquisitions)
-		}
-		return plRes{single.AggregateBps, joint.AggregateBps, cr, joint.Utilization}
+	rows := engine.Grid(ec, len(o.ClientsPer), o.Placements, func(pt, pl int, rng *rand.Rand) sweepPlacement {
+		return runPlacement(rng, env, m, o, o.ClientsPer[pt])
 	})
 
 	res := CellSweepResult{Points: make([]CellSweepPoint, len(o.ClientsPer))}
 	for pt := range o.ClientsPer {
-		var singles, joints, gains []float64
-		var crSum, utSum float64
-		for _, r := range rows[pt] {
-			singles = append(singles, r.singleBps/1e6)
-			joints = append(joints, r.jointBps/1e6)
-			if r.singleBps > 0 {
-				gains = append(gains, r.jointBps/r.singleBps)
-			}
-			crSum += r.collisionRate
-			utSum += r.utiliz
+		mp, agg := reducePlacements(rows[pt])
+		res.Points[pt] = CellSweepPoint{
+			ClientsPerCell:  o.ClientsPer[pt],
+			SingleAggMbps:   agg.single,
+			JointAggMbps:    agg.joint,
+			MedianGain:      agg.gain,
+			CollisionRate:   mp.collisionRate,
+			HiddenRate:      mp.hiddenRate,
+			MeanUtilization: mp.utiliz,
 		}
-		p := CellSweepPoint{
-			ClientsPerCell: o.ClientsPer[pt],
-			SingleAggMbps:  dsp.Median(singles),
-			JointAggMbps:   dsp.Median(joints),
-			MedianGain:     dsp.Median(gains),
-		}
-		if n := len(rows[pt]); n > 0 {
-			p.CollisionRate = crSum / float64(n)
-			p.MeanUtilization = utSum / float64(n)
-		}
-		res.Points[pt] = p
 	}
 	return res
+}
+
+// CellCountPoint is one point of the capacity-vs-area curve: medians and
+// means across placements at a fixed cell count.
+type CellCountPoint struct {
+	Cells           int
+	SingleAggMbps   float64 // median aggregate, best single AP per client
+	JointAggMbps    float64 // median aggregate, SourceSync joint service
+	MedianGain      float64 // per-placement joint/single, median
+	CollisionRate   float64 // collided transmit groups per acquisition
+	HiddenRate      float64 // hidden-terminal corruptions per acquisition
+	MeanUtilization float64 // approaches Cells under saturation
+}
+
+// RunCellCountSweep traces aggregate capacity versus the number of
+// spatially separated cells at a fixed client density — the AirSync-style
+// capacity-vs-area curve the event-driven per-neighborhood clock makes
+// honest (a global round clock would idle short cells against long ones).
+// Each point widens the floor to hold `cells` cells and re-places APs and
+// clients Placements times.
+func RunCellCountSweep(o CellSweepOptions, cellCounts []int, clientsPer int) []CellCountPoint {
+	cfg := Profile80211()
+	m := mac.Default(cfg)
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+
+	rows := engine.Grid(ec, len(cellCounts), o.Placements, func(pt, pl int, rng *rand.Rand) sweepPlacement {
+		oc := o
+		oc.Cells = cellCounts[pt]
+		env := testbed.Mesh(cfg)
+		env.Width = float64(oc.Cells) * oc.cellSpacing()
+		return runPlacement(rng, env, m, oc, clientsPer)
+	})
+
+	out := make([]CellCountPoint, len(cellCounts))
+	for pt := range cellCounts {
+		mp, agg := reducePlacements(rows[pt])
+		out[pt] = CellCountPoint{
+			Cells:           cellCounts[pt],
+			SingleAggMbps:   agg.single,
+			JointAggMbps:    agg.joint,
+			MedianGain:      agg.gain,
+			CollisionRate:   mp.collisionRate,
+			HiddenRate:      mp.hiddenRate,
+			MeanUtilization: mp.utiliz,
+		}
+	}
+	return out
 }

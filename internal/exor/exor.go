@@ -12,9 +12,11 @@
 // internal/netsim — each routing scheme is expressed as a netsim flow, so
 // runs can share the medium with cross-traffic flows (RunWithCross). Cross
 // flows carry their endpoints' testbed positions; with Sim.CSRangeM set
-// they contend only within carrier-sense range of each other, while the
-// routed flow — whose transmitter moves hop by hop — stays unplaced and
-// contends with everyone.
+// they contend only within carrier-sense range of each other (and, with
+// CaptureDB set, can corrupt each other as hidden terminals when their
+// concurrent frames overlap at a receiver), while the routed flow — whose
+// transmitter moves hop by hop — stays unplaced and contends with
+// everyone.
 package exor
 
 import (
@@ -129,7 +131,11 @@ type Result struct {
 	ThroughputBps float64
 	Delivered     int
 	Transmissions int
-	AirTime       float64
+	// HiddenLosses counts attempts corrupted by concurrent out-of-range
+	// transmitters (hidden terminals); nonzero only for placed cross flows
+	// under a finite CSRangeM with CaptureDB set.
+	HiddenLosses int
+	AirTime      float64
 }
 
 // CrossFlow describes one contending single-hop stream riding on the same
@@ -202,6 +208,7 @@ func (s *Sim) RunWithCross(rng *rand.Rand, scheme Scheme, nPackets int, cross []
 		r := Result{
 			Delivered:     deliveredPkts,
 			Transmissions: f.Attempts,
+			HiddenLosses:  f.HiddenLosses,
 			AirTime:       elapsed,
 		}
 		if elapsed > 0 {

@@ -14,8 +14,11 @@ import (
 // driven as contending netsim flows with per-client SampleRate controllers.
 // With only Links set the cell is one collision domain; with the spatial
 // fields set (positions, Env, CSRangeM) the clients may span several
-// carrier-sense neighborhoods — e.g. multiple cells of a building — and
-// downlinks out of range of each other reuse the medium concurrently.
+// carrier-sense neighborhoods — e.g. multiple cells of a building — whose
+// downlinks reuse the medium concurrently, each neighborhood advancing at
+// its own pace on netsim's event clock. With CaptureDB set, concurrent
+// out-of-range downlinks can also corrupt each other at the receivers
+// (hidden terminals); those losses surface as HiddenLosses.
 type Cell struct {
 	Mac          mac.Params
 	PayloadBytes int
@@ -49,6 +52,10 @@ type ClientResult struct {
 	Delivered     int
 	Dropped       int
 	Collisions    int
+	// HiddenLosses counts downlink attempts corrupted by transmitters
+	// beyond carrier-sense range (hidden terminals); always 0 unless the
+	// cell sets CaptureDB and spans several neighborhoods.
+	HiddenLosses int
 }
 
 // CellResult summarizes a cell run.
@@ -59,6 +66,9 @@ type CellResult struct {
 	Elapsed      float64 // virtual seconds to drain every backlog
 	Acquisitions int
 	Collisions   int // collision rounds on the medium
+	// HiddenLosses sums the clients' attempts corrupted by hidden-terminal
+	// interference (out-of-range concurrent transmitters).
+	HiddenLosses int
 	// Utilization is busy time over elapsed time; under spatial reuse it
 	// may exceed 1 (several neighborhoods carrying frames at once).
 	Utilization float64
@@ -195,14 +205,16 @@ func (c Cell) run(rng *rand.Rand, plan func(client int) clientPlan) CellResult {
 	}
 	for i, f := range flows {
 		res.PerClient[i] = ClientResult{
-			Delivered:  f.Delivered,
-			Dropped:    f.Dropped,
-			Collisions: f.Collisions,
+			Delivered:    f.Delivered,
+			Dropped:      f.Dropped,
+			Collisions:   f.Collisions,
+			HiddenLosses: f.HiddenLosses,
 		}
 		if res.Elapsed > 0 {
 			res.PerClient[i].ThroughputBps = float64(f.Delivered*c.PayloadBytes*8) / res.Elapsed
 		}
 		res.Delivered += f.Delivered
+		res.HiddenLosses += f.HiddenLosses
 	}
 	if res.Elapsed > 0 {
 		res.AggregateBps = float64(res.Delivered*c.PayloadBytes*8) / res.Elapsed

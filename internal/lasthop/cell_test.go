@@ -126,26 +126,38 @@ func spatialCells(cells int, spacing, csRange float64, packets int) Cell {
 func TestCellSpatialReuseScalesAggregate(t *testing.T) {
 	// Two cells beyond carrier-sense range must drain their backlogs nearly
 	// concurrently: aggregate throughput ~2x a single cell's, with the
-	// medium busy more than one neighborhood at a time.
-	one := spatialCells(1, 0, 30, 200).RunBestSingleAP(rand.New(rand.NewSource(7)))
-	two := spatialCells(2, 100, 30, 200).RunBestSingleAP(rand.New(rand.NewSource(8)))
-	ratio := two.AggregateBps / one.AggregateBps
+	// medium busy more than one neighborhood at a time. SampleRate
+	// trajectories are chaotic (a run that demotes early stays slow for a
+	// while), so the ratio is averaged over a few seeds rather than pinned
+	// to one lone/pair pairing.
+	var oneSum, twoSum, utilSum float64
+	const runs = 3
+	for seed := int64(7); seed < 7+runs; seed++ {
+		one := spatialCells(1, 0, 30, 200).RunBestSingleAP(rand.New(rand.NewSource(seed)))
+		two := spatialCells(2, 100, 30, 200).RunBestSingleAP(rand.New(rand.NewSource(seed)))
+		oneSum += one.AggregateBps
+		twoSum += two.AggregateBps
+		utilSum += two.Utilization
+		if two.Collisions != 0 {
+			t.Fatalf("out-of-range cells collided %d times (seed %d)", two.Collisions, seed)
+		}
+	}
+	ratio := twoSum / oneSum
 	if ratio < 1.7 || ratio > 2.3 {
-		t.Fatalf("two out-of-range cells gave %.2fx one cell's aggregate (%.1f vs %.1f Mbps), want ~2x",
-			ratio, two.AggregateBps/1e6, one.AggregateBps/1e6)
+		t.Fatalf("two out-of-range cells gave %.2fx one cell's aggregate, want ~2x", ratio)
 	}
-	if two.Collisions != 0 {
-		t.Fatalf("out-of-range cells collided %d times", two.Collisions)
-	}
-	if two.Utilization <= 1 {
-		t.Fatalf("utilization %.2f should exceed 1 under spatial reuse", two.Utilization)
+	if utilSum/runs <= 1 {
+		t.Fatalf("mean utilization %.2f should exceed 1 under spatial reuse", utilSum/runs)
 	}
 	// The same two cells inside one carrier-sense range must split the
-	// medium instead.
-	shared := spatialCells(2, 10, 30, 200).RunBestSingleAP(rand.New(rand.NewSource(8)))
-	if shared.AggregateBps > 1.25*one.AggregateBps {
-		t.Fatalf("in-range cells should share, not scale: %.1f vs %.1f Mbps",
-			shared.AggregateBps/1e6, one.AggregateBps/1e6)
+	// medium instead — averaged over the same seeds as the reuse check.
+	var sharedSum float64
+	for seed := int64(7); seed < 7+runs; seed++ {
+		sharedSum += spatialCells(2, 10, 30, 200).RunBestSingleAP(rand.New(rand.NewSource(seed))).AggregateBps
+	}
+	if sharedSum > 1.25*oneSum {
+		t.Fatalf("in-range cells should share, not scale: %.1f vs %.1f Mbps mean",
+			sharedSum/runs/1e6, oneSum/runs/1e6)
 	}
 }
 

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/modem"
+	"repro/internal/testbed"
+)
+
+// The benchmarks below time the event scheduler's hot loop in its three
+// regimes — one saturated collision domain, disjoint neighborhoods reusing
+// the medium, and hidden-terminal interference — so CI's bench job records
+// the simulator's perf trajectory (BENCH_netsim.json) as the contention
+// core evolves. Delivery draws are a coin flip: the point is the
+// scheduler's cost, not the PHY's.
+
+func benchSim(seed int64) (*Sim, *testbed.Testbed) {
+	cfg := modem.Profile80211()
+	s := New(mac.Default(cfg), rand.New(rand.NewSource(seed)))
+	return s, testbed.Default(cfg)
+}
+
+func BenchmarkSaturatedDomain(b *testing.B) {
+	// 8 stations, one collision domain, 50 frames each.
+	frames := 0
+	for i := 0; i < b.N; i++ {
+		s, _ := benchSim(int64(1 + i))
+		for f := 0; f < 8; f++ {
+			s.AddFlow(backloggedFlow("f", 50, 1e-3, 0.9))
+		}
+		s.Run()
+		frames += 8 * 50
+	}
+	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
+}
+
+func BenchmarkSpatialReuseCells(b *testing.B) {
+	// 4 disjoint cells of 2 stations each: the per-neighborhood clock path.
+	frames := 0
+	for i := 0; i < b.N; i++ {
+		s, env := benchSim(int64(2 + i))
+		s.CSRangeM = 30
+		s.Env = env
+		for c := 0; c < 4; c++ {
+			base := float64(c) * 200
+			for k := 0; k < 2; k++ {
+				x := base + float64(k)
+				s.AddFlow(placedFlow("f", 50, 1e-3,
+					testbed.Point{X: x, Y: 0}, testbed.Point{X: x + 5, Y: 0}, 30))
+			}
+		}
+		s.Run()
+		frames += 4 * 2 * 50
+	}
+	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
+}
+
+func BenchmarkHiddenTerminalPair(b *testing.B) {
+	// Two out-of-range senders corrupting each other's receivers: the
+	// interference-scan path (overlap bookkeeping, SINR pricing).
+	for i := 0; i < b.N; i++ {
+		s, env := benchSim(int64(3 + i))
+		s.CSRangeM = 50
+		s.CaptureDB = 10
+		s.Env = env
+		s.AddFlow(placedFlow("a", 50, 1e-3, testbed.Point{X: 0, Y: 0}, testbed.Point{X: 58, Y: 0}, 25))
+		s.AddFlow(placedFlow("b", 50, 1e-3, testbed.Point{X: 60, Y: 0}, testbed.Point{X: 2, Y: 0}, 25))
+		s.Run()
+	}
+}

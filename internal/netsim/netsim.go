@@ -8,37 +8,60 @@
 // packages settle what a frame costs (airtimes from the modem's symbol
 // accounting via internal/mac) and how likely it is to be received
 // (per-subcarrier SNR draws through internal/permodel); netsim owns the
-// clock and the contention between transmissions. One Step is one
-// contention round:
+// clock and the contention between transmissions.
 //
-//  1. Every backlogged flow holds a DCF backoff counter in whole slots,
-//     drawn from its retry-dependent contention window when it enters
-//     contention or after its own transmission attempt (in flow order, so
+// The scheduler is event-driven: every pending transmission is an event on
+// one shared virtual clock, and each Step advances the clock to the
+// earliest pending event — a frame hitting the air, a frame's airtime
+// ending, or a transmission's occupancy (ACK exchange or ACK timeout)
+// ending. A transmission occupies the medium only within its carrier-sense
+// neighborhood, so neighborhoods advance at their own pace: a short frame
+// in one cell completes and the next contention there begins while a long
+// frame still hangs in the air elsewhere. Under spatial reuse, utilization
+// (BusyTime over Now) approaches the number of disjoint neighborhoods.
+//
+// Contention follows DCF with frozen counters:
+//
+//  1. Every backlogged flow holds a backoff counter in whole slots, drawn
+//     from its retry-dependent contention window when it enters contention
+//     or after its own transmission attempt (in flow-registration order, so
 //     RNG consumption — and therefore the whole run — is deterministic for
-//     a given seed). Counters are frozen, as in real DCF: a flow that loses
-//     a round keeps its counter, minus the idle slots that elapsed before
-//     its neighborhood went busy, instead of redrawing.
-//  2. Flows transmit or defer in (counter, registration) order: a flow
-//     defers iff a flow already transmitting within its carrier-sense range
-//     holds a strictly smaller counter. Flows out of range of every
-//     transmitter proceed concurrently — spatial reuse. In-range flows with
-//     equal counters collide.
-//  3. A collision normally destroys every frame in the group, but when a
-//     capture threshold is configured a colliding frame whose SINR at its
-//     own receiver clears the threshold is received as if it were alone
+//     a given seed). While its neighborhood is idle the flow counts the
+//     counter down from DIFS onward; when an in-range transmission starts
+//     first, the flow banks the idle slots that elapsed and freezes, as in
+//     real DCF, resuming — not redrawing — when the neighborhood frees up.
+//  2. A flow transmits when its countdown expires with the neighborhood
+//     still idle. In-range flows whose countdowns expire at the same
+//     instant collide; flows out of carrier-sense range of every active
+//     transmitter proceed concurrently — spatial reuse.
+//  3. A frame is settled when its airtime ends, against every transmission
+//     that overlapped it in the air. In-range overlaps are colliders: a
+//     collision destroys every frame in the group unless a capture
+//     threshold is configured and the frame's SINR at its own receiver —
+//     serving-link SNR over the worst simultaneous median interference the
+//     frame saw, from transmitters in range or not — clears it
 //     (physical-layer capture; interference power comes from the testbed's
-//     median path loss, so no randomness is consumed).
-//  4. The virtual clock advances by the longest concurrent transmission:
-//     DIFS + backoff + frame airtime, plus the ACK exchange on success or
-//     the ACK timeout on failure.
+//     median path loss, so no randomness is consumed). Out-of-range
+//     overlaps are hidden terminals: when the capture model is configured
+//     (CaptureDB, Env, per-flow Radio), a frame whose SINR over those
+//     interferers falls below the threshold is corrupted even though its
+//     own neighborhood was clean. Interference is additive only while air
+//     intervals actually coincide — successive far-cell frames are not a
+//     doubled interferer. With the capture model off, hidden terminals are
+//     not modeled and frames fail only by collision or by their own
+//     delivery draw.
+//  4. A transmission occupies its neighborhood for DIFS + backoff + frame
+//     airtime, plus the ACK exchange on success or the ACK timeout on
+//     failure; in-range flows resume their countdowns when that occupancy
+//     ends.
 //
 // Carrier sense is pairwise between transmitter positions (Sim.CSRangeM);
 // with the zero configuration — no range, or flows without Radio info —
-// every flow contends with every other and the simulator degenerates to the
-// single collision domain of the original model. Interference between
-// concurrent out-of-range transmissions (hidden terminals) is not modeled:
-// frames fail only by collision within a neighborhood or by their own
-// delivery draw.
+// every flow contends with every other and the simulator degenerates to
+// one collision domain, where the event scheduler reproduces the classic
+// single-medium DCF round structure exactly (a single flow's run is
+// draw-for-draw and bit-for-bit identical to the historical round-based
+// scheduler — the determinism contract the fig17/fig18 experiments pin).
 //
 // Retries re-enter contention (as in real DCF) rather than holding the
 // medium. Scenario packages (internal/lasthop, internal/exor) define flows
@@ -55,15 +78,16 @@ import (
 	"repro/internal/testbed"
 )
 
-// Radio is a flow's geometry, used for spatial reuse and capture: where its
-// transmitter and its receiver sit on the floor, and the mean SNR of the
-// serving link at that receiver. Flows without Radio info contend with
-// every other flow and never capture.
+// Radio is a flow's geometry, used for spatial reuse, capture, and
+// hidden-terminal interference: where its transmitter and its receiver sit
+// on the floor, and the mean SNR of the serving link at that receiver.
+// Flows without Radio info contend with every other flow, never capture,
+// and never suffer hidden terminals (everyone defers to them).
 type Radio struct {
 	TxPos testbed.Point
 	RxPos testbed.Point
 	// SNRdB is the serving link's average SNR at RxPos (shadowing included,
-	// fading excluded) — the signal term of the capture SINR.
+	// fading excluded) — the signal term of the capture/interference SINR.
 	SNRdB float64
 }
 
@@ -99,12 +123,13 @@ type Flow struct {
 	Done func(r int, delivered bool, airTime float64)
 
 	// Accounting, maintained by the simulator.
-	Delivered  int     // frames delivered
-	Dropped    int     // frames dropped (retry limit, or unacked failure)
-	Attempts   int     // transmission attempts, including collisions
-	Collisions int     // attempts lost to collisions
-	Captures   int     // colliding attempts that survived by capture
-	AirTime    float64 // medium time consumed by this flow's own attempts
+	Delivered    int     // frames delivered
+	Dropped      int     // frames dropped (retry limit, or unacked failure)
+	Attempts     int     // transmission attempts, including collisions
+	Collisions   int     // attempts lost to collisions
+	Captures     int     // colliding attempts that survived by capture
+	HiddenLosses int     // attempts corrupted by out-of-range (hidden) interferers
+	AirTime      float64 // medium time consumed by this flow's own attempts
 
 	// Head-of-line frame state.
 	inFlight bool
@@ -116,14 +141,41 @@ type Flow struct {
 	// counterValid distinguishes a counter of zero from "needs a draw".
 	counter      int
 	counterValid bool
-	txRound      bool // transmitting in the current round (scratch)
-	grouped      bool // already assigned to a transmit group (scratch)
+
+	// Event-scheduler state.
+	active    *tx     // in-flight transmission; nil while contending or idle
+	waiting   bool    // counting down (idleSince below is valid)
+	idleSince float64 // when the current DIFS + countdown began
+}
+
+// tx is one transmission on the air: the unit the event scheduler moves
+// the clock between. base/wait/cost mirror the MAC cost arithmetic
+// (DIFS + backoff, then airtime, then ACK or timeout) so a lone flow's
+// clock is bit-identical to summing its per-attempt costs.
+type tx struct {
+	f        *Flow
+	base     float64 // clock time the DIFS + countdown began
+	wait     float64 // DIFS + counter·slot
+	start    float64 // base + wait: the frame hits the air
+	ft       float64 // frame airtime
+	airEnd   float64 // base + (wait + ft): the frame leaves the air
+	cost     float64 // wait + ft, plus ACK / ACK-timeout once resolved
+	end      float64 // base + cost: occupancy ends, neighborhood frees up
+	resolved bool    // delivery settled (airEnd passed)
+}
+
+// pastTx remembers a finished transmission's air interval and geometry so
+// still-unresolved frames it overlapped can count it as interference.
+type pastTx struct {
+	radio         *Radio
+	start, airEnd float64
 }
 
 // Sim is a shared medium with a virtual clock. With the zero spatial
 // configuration it is one collision domain; with CSRangeM set and flows
 // carrying Radio info, it is a floor of overlapping carrier-sense
-// neighborhoods that reuse the medium concurrently.
+// neighborhoods that reuse the medium concurrently, each advancing at the
+// pace of its own transmissions.
 type Sim struct {
 	Mac   mac.Params
 	Rng   *rand.Rand
@@ -134,13 +186,16 @@ type Sim struct {
 	// with every other (one collision domain). Flows without Radio info
 	// always contend with everyone.
 	CSRangeM float64
-	// CaptureDB enables physical-layer capture: a colliding frame whose
-	// SINR at its own receiver is at least this many dB is received as if
-	// it were alone. 0 disables capture (every collision destroys all
-	// frames). Requires Env and per-flow Radio info.
+	// CaptureDB is the SINR threshold of the interference model: a
+	// colliding frame whose SINR at its own receiver is at least this many
+	// dB is received as if it were alone (physical-layer capture), and a
+	// frame overlapped by out-of-range transmitters (hidden terminals) is
+	// corrupted when its SINR falls below it. 0 disables both — every
+	// collision destroys all frames and hidden terminals never interfere.
+	// Requires Env and per-flow Radio info.
 	CaptureDB float64
-	// Env supplies the median path loss used to price interference for the
-	// capture model (deterministic — capture consumes no randomness).
+	// Env supplies the median path loss used to price interference
+	// (deterministic — the interference model consumes no randomness).
 	Env *testbed.Testbed
 
 	// MaxSteps bounds Run as a safety net against scenarios whose flows
@@ -150,14 +205,20 @@ type Sim struct {
 	now  float64 // virtual time, seconds
 	busy float64 // time the medium carried frames (airtime, ACKs)
 
-	Acquisitions    int // contention rounds that found traffic
-	CollisionRounds int // transmit groups that collided (>1 simultaneous frame)
+	Acquisitions      int // transmit groups that acquired some neighborhood
+	CollisionRounds   int // transmit groups that collided (>1 simultaneous in-range frame)
+	HiddenCorruptions int // frames corrupted by hidden-terminal interference
+
+	// Live and recently finished transmissions.
+	active []*tx
+	past   []pastTx
 
 	// Scratch buffers reused across Steps (the hot loop).
-	contenders []*Flow
-	order      []*Flow
-	txs        []*Flow
-	group      []*Flow
+	starters []*tx
+	interf   []interferer
+	edges    []edge
+	grouped  []bool
+	group    []int
 }
 
 // New returns a simulator over the given MAC timing, drawing all randomness
@@ -185,55 +246,107 @@ func (s *Sim) backoffSlots(attempt int) int {
 	return s.Rng.Intn(s.Mac.CW(attempt) + 1)
 }
 
-// contends reports whether two flows share a carrier-sense neighborhood.
-func (s *Sim) contends(f, g *Flow) bool {
-	if s.CSRangeM <= 0 || f.Radio == nil || g.Radio == nil {
+// inRange reports whether a transmitter at the given geometry is within
+// f's carrier-sense range. The zero spatial configuration — no range, or
+// missing geometry on either side — senses everything.
+func (s *Sim) inRange(f *Flow, r *Radio) bool {
+	if s.CSRangeM <= 0 || f.Radio == nil || r == nil {
 		return true
 	}
-	return testbed.Dist(f.Radio.TxPos, g.Radio.TxPos) <= s.CSRangeM
+	return testbed.Dist(f.Radio.TxPos, r.TxPos) <= s.CSRangeM
 }
 
-// captures reports whether f's frame survives a collision with the rest of
-// its transmit group: its SINR — serving-link SNR over the summed median
-// interference of the other colliders at f's receiver, plus noise — clears
-// the capture threshold. Deterministic: no RNG is consumed.
-func (s *Sim) captures(f *Flow, group []*Flow) bool {
-	if s.CaptureDB <= 0 || s.Env == nil || f.Radio == nil {
-		return false
-	}
-	interf := 0.0
-	for _, g := range group {
-		if g == f {
-			continue
-		}
-		if g.Radio == nil {
-			return false // unknown interferer geometry: no capture
-		}
-		d := testbed.Dist(g.Radio.TxPos, f.Radio.RxPos)
-		interf += math.Pow(10, s.Env.MeanSNRdB(d)/10)
-	}
-	sinr := math.Pow(10, f.Radio.SNRdB/10) / (1 + interf)
+// contends reports whether two flows share a carrier-sense neighborhood.
+func (s *Sim) contends(f, g *Flow) bool { return s.inRange(f, g.Radio) }
+
+// startTime returns when f's countdown expires: the moment its
+// neighborhood went idle, plus DIFS, plus its remaining backoff slots. The
+// expression is shared by the event search and the start processing so
+// equal-countdown flows compare exactly equal (that tie is a collision).
+func (s *Sim) startTime(f *Flow) (wait, start float64) {
+	wait = s.Mac.DIFS() + float64(f.counter)*s.Mac.SlotTime
+	return wait, f.idleSince + wait
+}
+
+// interferer is one transmission overlapping a frame under resolution:
+// its interference power at the frame's receiver (median path loss,
+// linear) and the overlap interval, clipped to the frame's airtime.
+type interferer struct {
+	power    float64
+	from, to float64
+}
+
+// sinrClears reports whether f's frame decodes through the given
+// interference history: the serving link's SNR over the worst
+// *simultaneous* interference power the frame saw at its receiver, plus
+// noise, clears the capture threshold. Interferers are additive only while
+// their air intervals actually coincide — two successive far-cell frames
+// are not a doubled interferer. Deterministic: no RNG is consumed.
+func (s *Sim) sinrClears(f *Flow, interferers []interferer) bool {
+	sinr := math.Pow(10, f.Radio.SNRdB/10) / (1 + s.worstSimultaneous(interferers))
 	return 10*math.Log10(sinr) >= s.CaptureDB
 }
 
-// Step performs one contention round. It returns false — without consuming
-// randomness or advancing the clock — once no flow has traffic.
-func (s *Sim) Step() bool {
-	// Contenders, in flow order: deterministic RNG consumption.
-	contenders := s.contenders[:0]
-	for _, f := range s.Flows {
-		if f.inFlight || (f.HasTraffic != nil && f.HasTraffic()) {
-			contenders = append(contenders, f)
+// worstSimultaneous sweeps the interferers' overlap intervals and returns
+// the maximum concurrently-active interference power sum. Interval edges
+// at equal times retire before they add (intervals are half-open), and
+// additions commute, so the maximum is independent of tie order.
+func (s *Sim) worstSimultaneous(interferers []interferer) float64 {
+	edges := s.edges[:0]
+	for _, g := range interferers {
+		edges = append(edges, edge{t: g.from, dp: g.power}, edge{t: g.to, dp: -g.power})
+	}
+	s.edges = edges
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].dp < edges[j].dp // removals first at equal times
+	})
+	cur, worst := 0.0, 0.0
+	for _, e := range edges {
+		cur += e.dp
+		if cur > worst {
+			worst = cur
 		}
 	}
-	s.contenders = contenders
-	if len(contenders) == 0 {
-		return false
-	}
+	return worst
+}
 
-	// New head-of-line frames prepare, and flows without a live counter
-	// draw one — both in flow order.
-	for _, f := range contenders {
+// edge is one end of an interference interval in the sweep.
+type edge struct {
+	t  float64
+	dp float64
+}
+
+// interferenceModeled reports whether the SINR interference model applies
+// to f's receptions (capture within collisions, corruption by hidden
+// terminals).
+func (s *Sim) interferenceModeled(f *Flow) bool {
+	return s.CaptureDB > 0 && s.Env != nil && f.Radio != nil
+}
+
+// Step advances the simulator to its next event — a frame starting,
+// a frame's airtime ending (delivery settles), or a transmission's
+// occupancy ending (its neighborhood frees up) — and processes every event
+// scheduled at that instant. It returns false — without consuming
+// randomness or advancing the clock — once no flow has traffic and nothing
+// is on the air.
+func (s *Sim) Step() bool {
+	// Admission pass, in flow-registration order (deterministic RNG
+	// consumption): new head-of-line frames prepare, and flows without a
+	// live counter draw one.
+	pending := false
+	for _, f := range s.Flows {
+		if f.active != nil {
+			pending = true
+			continue
+		}
+		if !f.inFlight && (f.HasTraffic == nil || !f.HasTraffic()) {
+			f.waiting = false
+			continue
+		}
+		pending = true
 		if !f.inFlight {
 			f.inFlight = true
 			f.attempt = 0
@@ -248,176 +361,296 @@ func (s *Sim) Step() bool {
 			f.counterValid = true
 		}
 	}
-	s.Acquisitions++
+	if !pending {
+		return false
+	}
 
-	// Transmit/defer decision in (counter, registration) order: a flow
-	// defers iff some already-transmitting flow within carrier-sense range
-	// holds a strictly smaller counter; in-range equal counters collide;
-	// out-of-range flows proceed concurrently.
-	order := append(s.order[:0], contenders...)
-	sort.SliceStable(order, func(i, j int) bool { return order[i].counter < order[j].counter })
-	s.order = order
-	txs := s.txs[:0]
-	for _, f := range order {
-		blocked := false
-		for _, g := range txs {
-			if g.counter < f.counter && s.contends(f, g) {
+	// Carrier-sense pass: a contender whose neighborhood just went busy
+	// banks the idle slots that elapsed before the earliest in-range
+	// transmission started and freezes (DCF frozen backoff); a contender
+	// with a clear neighborhood counts down from idleSince and contributes
+	// a pending start event.
+	nextStart := math.Inf(1)
+	for _, f := range s.Flows {
+		if f.active != nil || !f.inFlight {
+			continue
+		}
+		blockerStart, blocked := math.Inf(1), false
+		for _, r := range s.active {
+			if s.contends(f, r.f) {
 				blocked = true
-				break
+				if r.start < blockerStart {
+					blockerStart = r.start
+				}
 			}
 		}
 		if blocked {
-			continue
-		}
-		f.txRound = true
-		txs = append(txs, f)
-	}
-	s.txs = txs
-
-	// Settle each transmit group — the connected components of the
-	// "contends and equal counter" relation over the transmitters, walked
-	// in registration order so delivery draws stay deterministic. The round
-	// lasts as long as its longest group.
-	var elapsed float64
-	for _, f := range contenders { // registration order
-		if !f.txRound || f.grouped {
-			continue
-		}
-		group := append(s.group[:0], f)
-		f.grouped = true
-		for i := 0; i < len(group); i++ {
-			for _, g := range contenders {
-				if g.txRound && !g.grouped && g.counter == group[i].counter && s.contends(g, group[i]) {
-					g.grouped = true
-					group = append(group, g)
-				}
+			if f.waiting {
+				f.counter -= elapsedSlots(blockerStart-f.idleSince-s.Mac.DIFS(), s.Mac.SlotTime, f.counter)
+				f.waiting = false
 			}
+			continue
 		}
-		s.group = group
-		if t := s.transmitGroup(group); t > elapsed {
-			elapsed = t
+		if !f.waiting {
+			f.waiting = true
+			f.idleSince = s.now
+		}
+		if _, st := s.startTime(f); st < nextStart {
+			nextStart = st
 		}
 	}
 
-	// Losing contenders count down the idle slots their neighborhood saw
-	// before going busy, then freeze (DCF frozen backoff). Transmitters
-	// redraw next round with their updated retry window.
-	for _, f := range contenders {
-		if f.txRound {
+	// The next event is the earliest pending start, frame-air end, or
+	// occupancy end. At least one exists: a backlogged flow is either on
+	// the air, blocked by something on the air, or counting down.
+	next := nextStart
+	for _, r := range s.active {
+		t := r.end
+		if !r.resolved {
+			t = r.airEnd
+		}
+		if t < next {
+			next = t
+		}
+	}
+	s.now = next
+
+	// Frame-air ends: settle deliveries (in registration-then-start order,
+	// so delivery draws stay deterministic).
+	for _, r := range s.active {
+		if !r.resolved && r.airEnd == next {
+			s.resolve(r)
+		}
+	}
+
+	// Occupancy ends: the transmission retires and its flow re-enters
+	// contention (a fresh countdown begins at the next carrier-sense pass).
+	kept := s.active[:0]
+	retired := false
+	for _, r := range s.active {
+		if r.resolved && r.end == next {
+			r.f.active = nil
+			r.f.waiting = false
+			s.past = append(s.past, pastTx{radio: r.f.Radio, start: r.start, airEnd: r.airEnd})
+			retired = true
 			continue
 		}
-		min := -1
-		for _, g := range txs {
-			if s.contends(f, g) && (min < 0 || g.counter < min) {
-				min = g.counter
-			}
-		}
-		if min > 0 {
-			f.counter -= min
-		}
+		kept = append(kept, r)
 	}
-	for _, f := range txs {
-		f.txRound = false
-		f.grouped = false
-		f.counterValid = false
+	s.active = kept
+	if retired {
+		s.prunePast()
 	}
-	s.now += elapsed
+
+	// Starts: every countdown that expires at this instant puts its frame
+	// on the air. Simultaneous in-range starts form collision groups.
+	starters := s.starters[:0]
+	for _, f := range s.Flows {
+		if f.active != nil || !f.inFlight || !f.waiting {
+			continue
+		}
+		wait, st := s.startTime(f)
+		if st != next {
+			continue
+		}
+		r := &tx{f: f, base: f.idleSince, wait: wait, start: st, ft: f.FrameTime(f.rateIdx)}
+		r.cost = r.wait + r.ft
+		r.airEnd = r.base + r.cost
+		r.end = r.airEnd // provisional; finalized when the delivery settles
+		f.active = r
+		f.waiting = false
+		f.counterValid = false // the counter is consumed by this attempt
+		s.active = append(s.active, r)
+		starters = append(starters, r)
+	}
+	s.starters = starters
+	s.countGroups(starters)
 	return true
 }
 
-// transmitGroup settles one simultaneous transmission: a lone winner
-// delivers normally; a collision destroys every frame except those that
-// capture. It returns the group's elapsed time (its neighborhood's share of
-// the round) and charges each member its own attempt cost.
-func (s *Sim) transmitGroup(group []*Flow) float64 {
-	wait := s.Mac.DIFS() + float64(group[0].counter)*s.Mac.SlotTime
-
-	if len(group) == 1 {
-		f := group[0]
-		ft := f.FrameTime(f.rateIdx)
-		ok := f.Deliver(s.Rng, f.rateIdx)
-		f.Attempts++
-		cost := wait + ft
-		busy := ft
-		if f.Acked {
-			if ok {
-				ack := s.Mac.SIFS + s.Mac.AckDuration()
-				cost += ack
-				busy += ack
-			} else {
-				cost += s.Mac.AckTimeout()
-			}
-		}
-		f.frameAir += cost
-		f.AirTime += cost
-		s.busy += busy
-		if ok {
-			s.finishFrame(f, true)
-		} else {
-			s.failAttempt(f)
-		}
-		return cost
+// elapsedSlots converts idle time after DIFS into whole backoff slots,
+// clamped to [0, counter]. The epsilon absorbs float error from
+// reconstructing slot counts out of absolute clock times.
+func elapsedSlots(idle, slot float64, counter int) int {
+	k := int(idle/slot + 1e-6)
+	if k < 0 {
+		return 0
 	}
-
-	// Collision. The medium is occupied for the longest colliding frame;
-	// each collider is billed its own frame (they overlap in real time, but
-	// per-flow attribution is what rate control sees).
-	s.CollisionRounds++
-	var maxFT float64
-	for _, f := range group {
-		if ft := f.FrameTime(f.rateIdx); ft > maxFT {
-			maxFT = ft
-		}
+	if k > counter {
+		return counter
 	}
-	anyAcked, ackedDelivery := false, false
-	for _, f := range group {
-		ft := f.FrameTime(f.rateIdx)
-		f.Attempts++
-		cost := wait + ft
-		if s.captures(f, group) {
-			// Physical-layer capture: the frame is decoded against its own
-			// fading draw as if it were alone.
-			f.Captures++
-			ok := f.Deliver(s.Rng, f.rateIdx)
-			if f.Acked {
-				anyAcked = true
-				if ok {
-					cost += s.Mac.SIFS + s.Mac.AckDuration()
-					ackedDelivery = true
-				} else {
-					cost += s.Mac.AckTimeout()
-				}
-			}
-			f.frameAir += cost
-			f.AirTime += cost
-			if ok {
-				s.finishFrame(f, true)
-			} else {
-				s.failAttempt(f)
-			}
+	return k
+}
+
+// countGroups tallies medium acquisitions and collisions among the
+// transmissions that started simultaneously: connected components of the
+// carrier-sense relation, walked in registration order.
+func (s *Sim) countGroups(starters []*tx) {
+	if len(starters) == 0 {
+		return
+	}
+	if len(starters) == 1 { // the common case: one flow acquired its neighborhood
+		s.Acquisitions++
+		return
+	}
+	grouped := s.grouped[:0]
+	for range starters {
+		grouped = append(grouped, false)
+	}
+	group := s.group[:0]
+	for i := range starters {
+		if grouped[i] {
 			continue
 		}
-		f.Collisions++
-		if f.Acked {
-			anyAcked = true
-			cost += s.Mac.AckTimeout()
+		group = append(group[:0], i)
+		grouped[i] = true
+		for k := 0; k < len(group); k++ {
+			for j := range starters {
+				if !grouped[j] && s.contends(starters[j].f, starters[group[k]].f) {
+					grouped[j] = true
+					group = append(group, j)
+				}
+			}
 		}
-		f.frameAir += cost
-		f.AirTime += cost
+		s.Acquisitions++
+		if len(group) > 1 {
+			s.CollisionRounds++
+		}
+	}
+	s.grouped, s.group = grouped, group
+}
+
+// resolve settles one frame at the end of its airtime against every
+// transmission that overlapped it in the air: in-range overlaps are
+// colliders (they necessarily started with it), out-of-range overlaps are
+// hidden terminals at the receiver. It finalizes the transmission's
+// occupancy (ACK exchange or ACK timeout) and bills the flow its attempt
+// cost.
+func (s *Sim) resolve(r *tx) {
+	f := r.f
+	f.Attempts++
+
+	// Gather the transmissions whose frames overlapped r's, in
+	// active-then-past scan order (deterministic accumulation). Each
+	// contributes its median interference power over the clipped overlap
+	// interval.
+	interf := s.interf[:0]
+	nColliders := 0
+	geometryKnown := true
+	covered := r.start // air interval already billed busy by resolved colliders
+	scan := func(radio *Radio, start, airEnd float64, resolved bool) {
+		if airEnd <= r.start || start >= r.airEnd {
+			return
+		}
+		if s.inRange(f, radio) {
+			nColliders++
+			if radio == nil {
+				geometryKnown = false
+			}
+			if resolved && airEnd <= r.airEnd && airEnd > covered {
+				covered = airEnd
+			}
+		}
+		if radio == nil || !s.interferenceModeled(f) {
+			return
+		}
+		g := interferer{from: start, to: airEnd}
+		if g.from < r.start {
+			g.from = r.start
+		}
+		if g.to > r.airEnd {
+			g.to = r.airEnd
+		}
+		d := testbed.Dist(radio.TxPos, f.Radio.RxPos)
+		g.power = math.Pow(10, s.Env.MeanSNRdB(d)/10)
+		interf = append(interf, g)
+	}
+	for _, g := range s.active {
+		if g != r {
+			scan(g.f.Radio, g.start, g.airEnd, g.resolved)
+		}
+	}
+	for _, p := range s.past {
+		scan(p.radio, p.start, p.airEnd, true)
+	}
+	s.interf = interf
+
+	// Decode decision. A collision destroys the frame unless it captures
+	// (SINR over the worst simultaneous interference clears the
+	// threshold); a clean-neighborhood frame still dies to hidden
+	// terminals when its SINR over them falls below the same threshold.
+	survives := true
+	switch {
+	case nColliders > 0:
+		survives = s.interferenceModeled(f) && geometryKnown && s.sinrClears(f, interf)
+		if survives {
+			f.Captures++
+		} else {
+			f.Collisions++
+		}
+	case len(interf) > 0:
+		survives = s.sinrClears(f, interf)
+		if !survives {
+			f.HiddenLosses++
+			s.HiddenCorruptions++
+		}
+	}
+
+	ok := false
+	if survives {
+		ok = f.Deliver(s.Rng, f.rateIdx)
+	}
+
+	// Busy accounting: colliding frames overlap in the air, so bill only
+	// the slice of this frame not already billed by an earlier-resolved
+	// collider; a clean frame bills its full airtime. Hidden overlap is in
+	// a different neighborhood and counts separately (BusyTime sums over
+	// neighborhoods).
+	busy := r.ft
+	if nColliders > 0 {
+		busy = r.airEnd - covered
+		if busy < 0 {
+			busy = 0
+		}
+	}
+	if f.Acked {
+		if ok {
+			ack := s.Mac.SIFS + s.Mac.AckDuration()
+			r.cost += ack
+			busy += ack
+		} else {
+			r.cost += s.Mac.AckTimeout()
+		}
+	}
+	r.end = r.base + r.cost
+	r.resolved = true
+	f.frameAir += r.cost
+	f.AirTime += r.cost
+	s.busy += busy
+	if ok {
+		s.finishFrame(f, true)
+	} else {
 		s.failAttempt(f)
 	}
-	elapsed := wait + maxFT
-	busy := maxFT
-	switch {
-	case ackedDelivery:
-		ack := s.Mac.SIFS + s.Mac.AckDuration()
-		elapsed += ack
-		busy += ack
-	case anyAcked:
-		elapsed += s.Mac.AckTimeout()
+}
+
+// prunePast drops finished transmissions that can no longer overlap any
+// unresolved frame (future frames start at or after now, and past air
+// intervals end at or before it).
+func (s *Sim) prunePast() {
+	cutoff := math.Inf(1)
+	for _, r := range s.active {
+		if !r.resolved && r.start < cutoff {
+			cutoff = r.start
+		}
 	}
-	s.busy += busy
-	return elapsed
+	kept := s.past[:0]
+	for _, p := range s.past {
+		if p.airEnd > cutoff {
+			kept = append(kept, p)
+		}
+	}
+	s.past = kept
 }
 
 // failAttempt advances a flow past a failed attempt: unacked flows complete
@@ -449,17 +682,19 @@ func (s *Sim) finishFrame(f *Flow, delivered bool) {
 // Run steps the simulator until every flow is drained. The MaxSteps guard
 // exists to catch scenario bugs (a flow whose backlog never drains); when
 // it trips, Run panics rather than let an experiment publish tables from a
-// silently truncated run.
+// silently truncated run. One frame attempt spans up to three events
+// (start, frame-air end, occupancy end), so the default is sized well
+// above any real workload.
 func (s *Sim) Run() {
 	max := s.MaxSteps
 	if max == 0 {
-		max = 1 << 24
+		max = 1 << 26
 	}
 	for i := 0; i < max; i++ {
 		if !s.Step() {
 			return
 		}
 	}
-	panic(fmt.Sprintf("netsim: %d flows still backlogged after %d contention rounds — a flow's backlog never drains",
+	panic(fmt.Sprintf("netsim: %d flows still backlogged after %d scheduler events — a flow's backlog never drains",
 		len(s.Flows), max))
 }

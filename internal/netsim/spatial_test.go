@@ -43,8 +43,12 @@ func TestFrozenBackoffPersistsAcrossLostRounds(t *testing.T) {
 		winner, loser = b, a
 		cWin, cLose = cb, ca
 	}
-	if !s.Step() {
-		t.Fatal("no round ran")
+	// One contention round spans several scheduler events (start, frame-air
+	// end, occupancy end); step until the first delivery settles.
+	for winner.Delivered == 0 && loser.Delivered == 0 {
+		if !s.Step() {
+			t.Fatal("drained before any delivery")
+		}
 	}
 	if winner.Delivered != 1 || loser.Delivered != 0 {
 		t.Fatalf("smaller counter (%d vs %d) must win round 1: winner=%d loser=%d delivered",
