@@ -9,13 +9,20 @@
 // Each benchmark line ("BenchmarkName-8  10  123456 ns/op  42 frames/s")
 // becomes one record with its package (from the preceding "pkg:" line),
 // iterations, ns/op, and any extra b.ReportMetric pairs.
+//
+// -require REGEXP exits nonzero unless at least one parsed benchmark's
+// "package.Name" matches — CI's guard against a perf-critical benchmark
+// suite silently dropping out of the artifact (e.g. the netsim
+// interference hot path).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -39,6 +46,18 @@ type Record struct {
 }
 
 func main() {
+	require := flag.String("require", "", "fail unless a parsed benchmark's package.Name matches this regexp")
+	flag.Parse()
+	var requireRE *regexp.Regexp
+	if *require != "" {
+		re, err := regexp.Compile(*require)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -require %q: %v\n", *require, err)
+			os.Exit(2)
+		}
+		requireRE = re
+	}
+
 	rec := Record{Schema: "repro-bench/v1"}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -69,12 +88,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
+	if requireRE != nil && !anyMatches(rec.Benchmarks, requireRE) {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark matches -require %q — the perf artifact would silently drop that suite\n", *require)
+		os.Exit(1)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rec); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// anyMatches reports whether any benchmark's "package.Name" matches re.
+func anyMatches(benchmarks []Benchmark, re *regexp.Regexp) bool {
+	for _, b := range benchmarks {
+		if re.MatchString(b.Package + "." + b.Name) {
+			return true
+		}
+	}
+	return false
 }
 
 // parseBenchLine parses one "BenchmarkFoo-8 N value unit [value unit]..."

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"regexp"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	b, ok := parseBenchLine("BenchmarkSaturatedDomain    \t       1\t    321815 ns/op\t   1245489 frames/s", "repro/internal/netsim")
@@ -15,6 +18,28 @@ func TestParseBenchLine(t *testing.T) {
 	}
 	if b.Metrics["frames/s"] != 1245489 {
 		t.Fatalf("metrics: %+v", b.Metrics)
+	}
+}
+
+func TestAnyMatchesGatesOnPackageAndName(t *testing.T) {
+	// The CI contract: -require 'netsim.*Interference' must accept an
+	// artifact carrying the interference benchmarks and reject one where
+	// the suite vanished (or only other packages survived).
+	re := regexp.MustCompile(`netsim.*Interference`)
+	with := []Benchmark{
+		{Name: "BenchmarkFig12SyncError", Package: "repro"},
+		{Name: "BenchmarkInterferenceRateAware", Package: "repro/internal/netsim"},
+	}
+	if !anyMatches(with, re) {
+		t.Fatal("interference benchmark present but not matched")
+	}
+	without := []Benchmark{
+		{Name: "BenchmarkFig12SyncError", Package: "repro"},
+		{Name: "BenchmarkSaturatedDomain", Package: "repro/internal/netsim"},
+		{Name: "BenchmarkInterferenceRateAware", Package: "repro/internal/other"},
+	}
+	if anyMatches(without, re) {
+		t.Fatal("matched an artifact with no netsim interference benchmark")
 	}
 }
 

@@ -6,7 +6,7 @@
 //	ssbench [flags] <experiment>
 //
 // Experiments: fig12 fig13 fig14 fig15 fig16 fig17 fig18 cell cellsweep
-// crosstraffic overhead detdelay ablations all
+// crosstraffic crosstraffic-spatial overhead detdelay ablations all
 package main
 
 import (
@@ -19,6 +19,8 @@ import (
 
 	sourcesync "repro"
 	"repro/internal/engine"
+	"repro/internal/modem"
+	"repro/internal/netsim"
 )
 
 var (
@@ -28,6 +30,9 @@ var (
 	nworkers = flag.Int("workers", 0, "worker count when -parallel (0 = GOMAXPROCS)")
 	list     = flag.Bool("list", false, "print the registered experiment names, one per line, and exit (CI loops over this)")
 	cells    = flag.String("cells", "1,2,3", "comma-separated cell counts for cellsweep's capacity-vs-cell-count table")
+	csRanges = flag.String("cs", "20,30,45", "comma-separated carrier-sense ranges (meters) for cellsweep's capacity-vs-CS-range table")
+	window   = flag.Float64("window", 0, "fixed-time-window saturation mode for cell/cellsweep: drain unbounded backlogs for this many virtual seconds (0 = drain fixed per-client backlogs)")
+	legacy   = flag.Bool("legacy", false, "run cell/cellsweep/crosstraffic* with their pre-model interference behavior (cellsweep keeps its binary CaptureDB gate; cell and the crosstraffic variants historically modeled no interference at all)")
 )
 
 // experimentNames lists every registered experiment in the order `all`
@@ -35,7 +40,8 @@ var (
 // so the list, the run switch, and the docs cannot drift apart silently.
 var experimentNames = []string{
 	"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-	"cell", "cellsweep", "crosstraffic", "overhead", "detdelay", "ablations",
+	"cell", "cellsweep", "crosstraffic", "crosstraffic-spatial",
+	"overhead", "detdelay", "ablations",
 }
 
 // workers translates the flags into the engine's convention: 1 worker when
@@ -70,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] [-cells N,N,...] <%s|all>\n       ssbench -list\n",
+	fmt.Fprintf(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] [-cells N,N,...] [-cs M,M,...] [-window SEC] [-legacy] <%s|all>\n       ssbench -list\n",
 		strings.Join(experimentNames, "|"))
 }
 
@@ -101,6 +107,8 @@ func run(exp string) {
 		cellsweep()
 	case "crosstraffic":
 		crosstraffic()
+	case "crosstraffic-spatial":
+		crosstrafficSpatial()
 	case "overhead":
 		overhead()
 	case "detdelay":
@@ -235,6 +243,46 @@ func fig18(mbps int) {
 	fmt.Println("paper: ExOR 1.26-1.4x over single path; SourceSync 1.35-1.45x over ExOR; 1.7-2x overall")
 }
 
+// modelName labels the interference pricing the -legacy flag selects. The
+// legacy behavior differs per experiment — cellsweep keeps its binary
+// CaptureDB gate, while cell and the crosstraffic variants historically
+// ran with no interference model — so the label stays generic.
+func modelName() string {
+	if *legacy {
+		return "legacy"
+	}
+	return "rate-aware"
+}
+
+// printCorruption renders the interference model's per-rate outcome table:
+// one row per SampleRate rate index that saw interference, with the mean
+// decode margin of its interfered attempts.
+func printCorruption(rc []netsim.RateCorruption) {
+	total := 0
+	for _, c := range rc {
+		total += c.Interfered
+	}
+	if total == 0 {
+		fmt.Println("per-rate interference outcomes: none (no attempt overlapped with a model engaged)")
+		return
+	}
+	cfg := sourcesync.Profile80211()
+	rates := modem.StandardRates()
+	fmt.Println("per-rate interference outcomes:")
+	fmt.Printf("%12s %11s %10s %9s %11s\n", "rate", "interfered", "corrupted", "degraded", "margin(dB)")
+	for i, c := range rc {
+		if c.Interfered == 0 {
+			continue
+		}
+		label := fmt.Sprintf("idx %d", i)
+		if i < len(rates) {
+			label = fmt.Sprintf("%.0f Mbps", rates[i].BitRate(cfg)/1e6)
+		}
+		fmt.Printf("%12s %11d %10d %9d %11.2f\n",
+			label, c.Interfered, c.Corrupted, c.Degraded, c.MarginDB/float64(c.Interfered))
+	}
+}
+
 func cell() {
 	header("Cell — multi-client WLAN aggregate throughput: best single AP vs SourceSync")
 	o := sourcesync.DefaultCellOptions()
@@ -242,22 +290,34 @@ func cell() {
 	o.Workers = workers()
 	o.Placements = shrink(o.Placements)
 	o.Packets = shrink(o.Packets)
+	o.Legacy = *legacy
+	o.WindowSec = *window
 	res := sourcesync.RunCell(o)
-	fmt.Printf("clients=%d APs=%d packets/client=%d\n", o.Clients, o.APs, o.Packets)
+	fmt.Printf("clients=%d APs=%d packets/client=%d model=%s", o.Clients, o.APs, o.Packets, modelName())
+	if o.WindowSec > 0 {
+		fmt.Printf(" window=%.2fs", o.WindowSec)
+	}
+	fmt.Println()
 	fmt.Printf("%10s %14s %14s\n", "fraction", "single(Mbps)", "joint(Mbps)")
 	n := len(res.SingleAggMbps)
 	for i := 0; i < n; i++ {
 		fmt.Printf("%10.3f %14.2f %14.2f\n", float64(i+1)/float64(n), res.SingleAggMbps[i], res.JointAggMbps[i])
 	}
-	fmt.Printf("median aggregate gain: %.2fx; collision rate %.3f of acquisitions\n",
-		res.MedianGain, res.MeanCollisionRate)
+	fmt.Printf("median aggregate gain: %.2fx; per acquisition: collisions %.3f, captures %.3f\n",
+		res.MedianGain, res.MeanCollisionRate, res.MeanCaptureRate)
+	printCorruption(res.RateCorruption)
 }
 
 func cellsweep() {
-	// Validate the flag before the (expensive) clients-per-cell sweep runs.
+	// Validate the flags before the (expensive) clients-per-cell sweep runs.
 	counts, err := parseCellCounts(*cells)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -cells %q: %v\n", *cells, err)
+		os.Exit(2)
+	}
+	ranges, err := parseCSRanges(*csRanges)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -cs %q: %v\n", *csRanges, err)
 		os.Exit(2)
 	}
 	header("Cellsweep — saturation throughput vs clients per cell (multi-cell spatial reuse)")
@@ -266,25 +326,60 @@ func cellsweep() {
 	o.Workers = workers()
 	o.Placements = shrink(o.Placements)
 	o.Packets = shrink(o.Packets)
+	o.Legacy = *legacy
+	o.WindowSec = *window
 	res := sourcesync.RunCellSweep(o)
-	fmt.Printf("cells=%d aps/cell=%d packets/client=%d cs-range=%.0fm capture=%.0fdB\n",
-		o.Cells, o.APsPerCell, o.Packets, o.CSRangeM, o.CaptureDB)
-	fmt.Printf("%10s %14s %14s %8s %8s %8s %8s\n", "clients", "single(Mbps)", "joint(Mbps)", "gain", "collis", "hidden", "util")
-	for _, p := range res.Points {
-		fmt.Printf("%10d %14.2f %14.2f %7.2fx %8.3f %8.3f %8.2f\n",
-			p.ClientsPerCell, p.SingleAggMbps, p.JointAggMbps, p.MedianGain, p.CollisionRate, p.HiddenRate, p.MeanUtilization)
+	fmt.Printf("cells=%d aps/cell=%d packets/client=%d cs-range=%.0fm model=%s", o.Cells, o.APsPerCell, o.Packets, o.CSRangeM, modelName())
+	if o.WindowSec > 0 {
+		fmt.Printf(" window=%.2fs", o.WindowSec)
 	}
+	fmt.Println()
+	rows := make([]sweepRow, len(res.Points))
+	for i, p := range res.Points {
+		rows[i] = sweepRow{strconv.Itoa(p.ClientsPerCell), p.SweepStats}
+	}
+	printSweepTable("clients", rows)
 	fmt.Println("utilization above 1 = cells beyond carrier-sense range carrying frames concurrently")
+	if last := len(res.Points) - 1; last >= 0 {
+		printCorruption(res.Points[last].RateCorruption)
+	}
 
 	clientsPer := shrink(4)
 	pts := sourcesync.RunCellCountSweep(o, counts, clientsPer)
 	fmt.Printf("\ncapacity vs cell count (clients/cell=%d):\n", clientsPer)
-	fmt.Printf("%10s %14s %14s %8s %8s %8s %8s\n", "cells", "single(Mbps)", "joint(Mbps)", "gain", "collis", "hidden", "util")
-	for _, p := range pts {
-		fmt.Printf("%10d %14.2f %14.2f %7.2fx %8.3f %8.3f %8.2f\n",
-			p.Cells, p.SingleAggMbps, p.JointAggMbps, p.MedianGain, p.CollisionRate, p.HiddenRate, p.MeanUtilization)
+	rows = make([]sweepRow, len(pts))
+	for i, p := range pts {
+		rows[i] = sweepRow{strconv.Itoa(p.Cells), p.SweepStats}
 	}
+	printSweepTable("cells", rows)
 	fmt.Println("capacity should scale near-linearly with cell count (AirSync-style spatial reuse)")
+
+	csPts := sourcesync.RunCSRangeSweep(o, ranges, clientsPer)
+	fmt.Printf("\ncapacity vs carrier-sense range (cells=%d clients/cell=%d):\n", o.Cells, clientsPer)
+	rows = make([]sweepRow, len(csPts))
+	for i, p := range csPts {
+		rows[i] = sweepRow{fmt.Sprintf("%.0f", p.CSRangeM), p.SweepStats}
+	}
+	printSweepTable("cs(m)", rows)
+	fmt.Println("shorter carrier sense = denser reuse but more hidden terminals; the model prices the tradeoff")
+}
+
+// sweepRow is one rendered cellsweep table row: the swept value plus the
+// shared statistics.
+type sweepRow struct {
+	key   string
+	stats sourcesync.SweepStats
+}
+
+// printSweepTable renders one of cellsweep's three tables: the swept
+// column under keyHeader, then the shared statistics columns.
+func printSweepTable(keyHeader string, rows []sweepRow) {
+	fmt.Printf("%10s %14s %14s %8s %8s %8s %8s %8s\n", keyHeader, "single(Mbps)", "joint(Mbps)", "gain", "collis", "hidden", "capture", "util")
+	for _, r := range rows {
+		s := r.stats
+		fmt.Printf("%10s %14.2f %14.2f %7.2fx %8.3f %8.3f %8.3f %8.2f\n",
+			r.key, s.SingleAggMbps, s.JointAggMbps, s.MedianGain, s.CollisionRate, s.HiddenRate, s.CaptureRate, s.MeanUtilization)
+	}
 }
 
 // parseCellCounts parses the -cells flag: positive integers, comma-separated.
@@ -303,16 +398,54 @@ func parseCellCounts(s string) ([]int, error) {
 	return out, nil
 }
 
+// parseCSRanges parses the -cs flag: positive carrier-sense ranges in
+// meters, comma-separated.
+func parseCSRanges(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("carrier-sense range %g <= 0", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func crosstraffic() {
 	header("Cross-traffic — routed mesh flow contending with relay-to-relay flows")
 	o := sourcesync.DefaultCrossTrafficOptions()
 	o.Seed = *seed + 9
+	runCrossTraffic(o)
+}
+
+func crosstrafficSpatial() {
+	header("Cross-traffic (spatial mesh) — cross flows in separate cells: reuse + hidden terminals on the routing side")
+	o := sourcesync.SpatialCrossTrafficOptions()
+	o.Seed = *seed + 11
+	runCrossTraffic(o)
+}
+
+// runCrossTraffic shrinks, runs, and prints one cross-traffic variant.
+func runCrossTraffic(o sourcesync.CrossTrafficOptions) {
 	o.Workers = workers()
 	o.Topologies = shrink(o.Topologies)
 	o.Packets = shrink(o.Packets)
 	o.CrossPackets = shrink(o.CrossPackets)
+	o.Legacy = *legacy
 	res := sourcesync.RunCrossTraffic(o)
-	fmt.Printf("%d cross flows x %d packets at %d Mbps\n", o.CrossFlows, o.CrossPackets, o.RateMbps)
+	rateLabel := fmt.Sprintf("%d Mbps", o.RateMbps)
+	if o.AdaptCross {
+		rateLabel = "SampleRate-adapted"
+	}
+	fmt.Printf("%d cross flows x %d packets, %s, model=%s", o.CrossFlows, o.CrossPackets, rateLabel, modelName())
+	if o.CSRangeM > 0 {
+		fmt.Printf(", cs-range=%.0fm width-x%.1f", o.CSRangeM, o.WidthScale)
+	}
+	fmt.Println()
 	fmt.Printf("%10s %12s %12s %12s %12s\n", "fraction", "sp(Mbps)", "sp+load", "ss(Mbps)", "ss+load")
 	n := len(res.SinglePathAloneMbps)
 	for i := 0; i < n; i++ {
@@ -322,6 +455,8 @@ func crosstraffic() {
 	}
 	fmt.Printf("median retention under load: single-path %.2f, SourceSync %.2f; SrcSync/single under load %.2fx\n",
 		res.SinglePathRetention, res.SourceSyncRetention, res.GainUnderLoad)
+	fmt.Printf("cross-flow hidden-terminal losses: %d\n", res.CrossHiddenLosses)
+	printCorruption(res.CrossRateCorruption)
 }
 
 func overhead() {

@@ -119,6 +119,40 @@ func TestCellCrossTrafficDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestSpatialCrossTrafficDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The spatial-mesh variant: stretched floor, finite carrier sense,
+	// SampleRate-adapted cross flows, rate-aware interference — the full
+	// new-model pipeline must still reduce byte-identically at any worker
+	// count.
+	o := SpatialCrossTrafficOptions()
+	o.Topologies, o.Packets, o.CrossPackets, o.Probes = 3, 40, 50, 30
+	o.Workers = 1
+	want := fmt.Sprintf("%#v", RunCrossTraffic(o))
+	o.Workers = 4
+	if got := fmt.Sprintf("%#v", RunCrossTraffic(o)); got != want {
+		t.Fatalf("crosstraffic-spatial parallel output differs from serial:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestWindowModeAndCSRangeSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Fixed-time-window saturation (RunUntil) plus the carrier-sense-range
+	// sweep, both under the default rate-aware model.
+	o := CellSweepOptions{Seed: 13, Placements: 3, Cells: 2, APsPerCell: 2,
+		ClientsPer: []int{2}, Packets: 20, Payload: 1460, CSRangeM: 30, WindowSec: 0.05}
+	oc := CellOptions{Seed: 14, Placements: 4, Clients: 4, APs: 2, Packets: 20,
+		Payload: 1460, WindowSec: 0.05}
+	o.Workers, oc.Workers = 1, 1
+	want := fmt.Sprintf("%#v", RunCSRangeSweep(o, []float64{20, 40}, 2))
+	wantC := fmt.Sprintf("%#v", RunCell(oc))
+	o.Workers, oc.Workers = 4, 4
+	if got := fmt.Sprintf("%#v", RunCSRangeSweep(o, []float64{20, 40}, 2)); got != want {
+		t.Fatalf("CS-range sweep parallel output differs from serial:\n%s\nvs\n%s", got, want)
+	}
+	if got := fmt.Sprintf("%#v", RunCell(oc)); got != wantC {
+		t.Fatalf("window-mode cell parallel output differs from serial:\n%s\nvs\n%s", got, wantC)
+	}
+}
+
 func TestCellSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	o := CellSweepOptions{Seed: 11, Placements: 3, Cells: 2, APsPerCell: 2,
 		ClientsPer: []int{1, 4}, Packets: 20, Payload: 1460, CSRangeM: 30, CaptureDB: 10}

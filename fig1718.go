@@ -159,7 +159,7 @@ func RunFig18(o Fig18Options) Fig18Result {
 
 	type tpRes struct{ spBps, exBps, ssBps float64 }
 	rows := engine.Map(ec, 0, o.Topologies, func(tp int, rng *rand.Rand) tpRes {
-		topo := randomMeshTopology(rng, env)
+		topo := randomMeshTopology(rng, env, false)
 		meas := topo.Measure(rng, rate, o.Payload, o.Probes, 0.1)
 		sim := &exor.Sim{Topo: topo, Meas: meas, Mac: m, Rate: rate, Payload: o.Payload}
 		sp := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.SinglePath, o.Packets)
@@ -192,18 +192,27 @@ func RunFig18(o Fig18Options) Fig18Result {
 }
 
 // randomMeshTopology draws the paper's 5-node shape: source and destination
-// far apart, three relays placed between them. The relays sit closer to the
-// source, so the relay -> destination hop operates near the rate's
-// waterfall — the lossy regime where sender diversity pays (the direct
-// src -> dst link is essentially dead).
-func randomMeshTopology(rng *rand.Rand, env *testbed.Testbed) *exor.Topology {
+// far apart, three relays placed between them. With spread false the relays
+// sit closer to the source, so the relay -> destination hop operates near
+// the rate's waterfall — the lossy regime where sender diversity pays (the
+// direct src -> dst link is essentially dead). With spread true (the
+// spatial-mesh cross-traffic variant) the relays are staggered across the
+// whole span, so relay-to-relay cross flows on a stretched floor land in
+// different carrier-sense cells. Both shapes consume the same RNG draws in
+// the same order, so spread false stays draw-for-draw identical to the
+// historical topology.
+func randomMeshTopology(rng *rand.Rand, env *testbed.Testbed, spread bool) *exor.Topology {
 	w, h := env.Width, env.Height
 	src := testbed.Point{X: rng.Float64() * 0.08 * w, Y: rng.Float64() * h}
 	dst := testbed.Point{X: (0.92 + rng.Float64()*0.08) * w, Y: rng.Float64() * h}
 	pts := []testbed.Point{src}
 	for r := 0; r < 3; r++ {
+		lo := 0.25
+		if spread {
+			lo = 0.15 + 0.25*float64(r)
+		}
 		pts = append(pts, testbed.Point{
-			X: (0.25 + rng.Float64()*0.2) * w,
+			X: (lo + rng.Float64()*0.2) * w,
 			Y: rng.Float64() * h,
 		})
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/lasthop"
 	"repro/internal/mac"
 	"repro/internal/modem"
+	"repro/internal/netsim"
 	"repro/internal/testbed"
 )
 
@@ -25,13 +26,25 @@ type CellOptions struct {
 	APs        int // M APs serving it
 	Packets    int // downlink packets per client
 	Payload    int
+	// Legacy disables the rate-aware interference model: no geometry is
+	// wired into the cell, so collisions destroy every frame uncondition-
+	// ally (the pre-model behavior). The default (false) runs the cell
+	// with netsim.RateAware engaged — colliding downlinks may capture at
+	// their own rate's decode threshold and surviving frames pay the
+	// effective-SNR degradation.
+	Legacy bool
+	// WindowSec switches to fixed-time-window saturation mode: unbounded
+	// backlogs drained for this many virtual seconds (Packets ignored), so
+	// one starved client no longer gates the elapsed time. 0 keeps the
+	// drain-the-backlog mode.
+	WindowSec float64
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
 }
 
 // DefaultCellOptions returns the parameters used by ssbench: an 8-client,
-// 2-AP cell.
+// 2-AP cell under the rate-aware interference model.
 func DefaultCellOptions() CellOptions {
 	return CellOptions{Seed: 9, Placements: 20, Clients: 8, APs: 2, Packets: 120, Payload: 1460}
 }
@@ -46,22 +59,37 @@ type CellExpResult struct {
 	// in a collision, averaged over the joint runs — the contention the
 	// single-flow experiments cannot exhibit.
 	MeanCollisionRate float64
+	// MeanCaptureRate is captures per acquisition averaged over the joint
+	// runs: colliding frames the rate-aware model let survive at their own
+	// rate's decode threshold. 0 under Legacy.
+	MeanCaptureRate float64
+	// RateCorruption aggregates the interference model's per-rate outcomes
+	// over every joint run (index = SampleRate rate index).
+	RateCorruption []netsim.RateCorruption
 }
 
 // RunCell simulates the multi-client cell: each placement spreads the APs
 // over the floor, drops every client in usable-but-not-saturated range of
 // its nearest AP (as in Fig. 17's motivation), and drains each client's
 // backlog once with per-client best-single-AP service and once with
-// SourceSync joint transmissions.
+// SourceSync joint transmissions. Unless o.Legacy is set, the cell runs
+// with the rate-aware interference model: colliding downlinks may capture
+// at their own rate's decode threshold and surviving frames pay the
+// effective-SNR degradation in their delivery draws.
 func RunCell(o CellOptions) CellExpResult {
 	cfg := Profile80211()
 	env := testbed.Mesh(cfg)
 	m := mac.Default(cfg)
 	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	var model netsim.InterferenceModel
+	if !o.Legacy {
+		model = netsim.NewRateAware(cfg, modem.StandardRates(), o.Payload)
+	}
 
 	type plRes struct {
-		singleBps, jointBps float64
-		collisionRate       float64
+		singleBps, jointBps        float64
+		collisionRate, captureRate float64
+		corruption                 []netsim.RateCorruption
 	}
 	rows := engine.Map(ec, 0, o.Placements, func(pl int, rng *rand.Rand) plRes {
 		aps := make([]testbed.Point, o.APs)
@@ -79,6 +107,8 @@ func RunCell(o CellOptions) CellExpResult {
 			})
 		}
 		links := make([][]testbed.Link, o.Clients)
+		clientPos := make([]testbed.Point, o.Clients)
+		apPos := make([][]testbed.Point, o.Clients)
 		for c := range links {
 			// Clients sit 8-25 m from their nearest AP: links with rate
 			// headroom, the regime where sender diversity pays.
@@ -95,25 +125,38 @@ func RunCell(o CellOptions) CellExpResult {
 			for a := range aps {
 				links[c][a] = env.NewLink(rng, aps[a], pos)
 			}
+			clientPos[c] = pos
+			apPos[c] = aps
 		}
 		cell := lasthop.Cell{
 			Mac:              m,
 			PayloadBytes:     o.Payload,
 			Links:            links,
 			PacketsPerClient: o.Packets,
+			WindowSec:        o.WindowSec,
+		}
+		if !o.Legacy {
+			// One collision domain still (CSRangeM 0), but with geometry
+			// wired so the interference model prices every collision.
+			cell.APPos = apPos
+			cell.ClientPos = clientPos
+			cell.Env = env
+			cell.Model = model
 		}
 		single := cell.RunBestSingleAP(rand.New(rand.NewSource(rng.Int63())))
 		joint := cell.RunJoint(rand.New(rand.NewSource(rng.Int63())))
-		var cr float64
+		r := plRes{singleBps: single.AggregateBps, jointBps: joint.AggregateBps,
+			corruption: joint.RateCorruption}
 		if joint.Acquisitions > 0 {
-			cr = float64(joint.Collisions) / float64(joint.Acquisitions)
+			r.collisionRate = float64(joint.Collisions) / float64(joint.Acquisitions)
+			r.captureRate = float64(joint.Captures) / float64(joint.Acquisitions)
 		}
-		return plRes{single.AggregateBps, joint.AggregateBps, cr}
+		return r
 	})
 
 	var res CellExpResult
 	var gains []float64
-	var crSum float64
+	var crSum, capSum float64
 	for _, r := range rows {
 		res.SingleAggMbps = append(res.SingleAggMbps, r.singleBps/1e6)
 		res.JointAggMbps = append(res.JointAggMbps, r.jointBps/1e6)
@@ -121,12 +164,15 @@ func RunCell(o CellOptions) CellExpResult {
 			gains = append(gains, r.jointBps/r.singleBps)
 		}
 		crSum += r.collisionRate
+		capSum += r.captureRate
+		res.RateCorruption = netsim.MergeRateCorruption(res.RateCorruption, r.corruption)
 	}
 	sortFloats(res.SingleAggMbps)
 	sortFloats(res.JointAggMbps)
 	res.MedianGain = dsp.Median(gains)
 	if len(rows) > 0 {
 		res.MeanCollisionRate = crSum / float64(len(rows))
+		res.MeanCaptureRate = capSum / float64(len(rows))
 	}
 	return res
 }
@@ -145,17 +191,55 @@ type CrossTrafficOptions struct {
 	Payload      int
 	RateMbps     int
 	Probes       int // measurement-phase probes per link
+	// AdaptCross gives every cross flow a SampleRate controller over the
+	// standard rate table (instead of the fixed RateMbps), so rate
+	// adaptation reacts to contention and interference-degraded loss.
+	AdaptCross bool
+	// Legacy disables the rate-aware interference model; collisions then
+	// destroy every frame and hidden terminals never interfere (the
+	// pre-model behavior).
+	Legacy bool
+	// CSRangeM is the carrier-sense range between cross-flow transmitters
+	// (meters). 0 keeps the classic single collision domain; positive
+	// values enable spatial reuse — and hidden terminals — between cross
+	// flows in different parts of the mesh. The routed flow's transmitter
+	// moves hop by hop, so it always contends with everyone.
+	CSRangeM float64
+	// WidthScale stretches the mesh floor (and the relay spread) by this
+	// factor; 0 or 1 keeps the default geometry. The spatial-mesh variant
+	// pairs a stretched floor with a finite CSRangeM so relay-to-relay
+	// cross flows land in different cells.
+	WidthScale float64
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
 }
 
-// DefaultCrossTrafficOptions returns the parameters used by ssbench.
+// DefaultCrossTrafficOptions returns the parameters used by ssbench:
+// one collision domain, SampleRate-adapted cross flows, rate-aware
+// interference.
 func DefaultCrossTrafficOptions() CrossTrafficOptions {
 	return CrossTrafficOptions{
 		Seed: 10, Topologies: 20, Packets: 120, CrossFlows: 2,
 		CrossPackets: 150, Payload: 1000, RateMbps: 12, Probes: 60,
+		AdaptCross: true,
 	}
+}
+
+// SpatialCrossTrafficOptions returns the spatial-mesh variant used by
+// ssbench: the floor stretched to 1.2x the mesh default with the relays
+// spread across the span, and a carrier-sense range shortened to 20 m so
+// relay-to-relay cross flows land in different cells — they reuse the
+// medium concurrently and corrupt each other as hidden terminals, priced
+// by the rate-aware interference model. Stretching much further kills the
+// routed path outright (hops pass the 12 Mbps waterfall), so the variant
+// leans on the shorter carrier sense for its spatial structure.
+func SpatialCrossTrafficOptions() CrossTrafficOptions {
+	o := DefaultCrossTrafficOptions()
+	o.Seed = 12
+	o.CSRangeM = 20
+	o.WidthScale = 1.2
+	return o
 }
 
 // CrossTrafficResult compares single-path routing and ExOR+SourceSync with
@@ -171,26 +255,54 @@ type CrossTrafficResult struct {
 	// Median of SourceSync-loaded over single-path-loaded: does sender
 	// diversity still pay under contention?
 	GainUnderLoad float64
+	// CrossHiddenLosses totals the cross flows' attempts corrupted by
+	// hidden terminals across every loaded run (spatial variant only).
+	CrossHiddenLosses int
+	// CrossRateCorruption aggregates the interference model's per-rate
+	// outcomes over the cross flows of every loaded run (index = standard
+	// rate index under AdaptCross, 0 otherwise).
+	CrossRateCorruption []netsim.RateCorruption
 }
 
 // RunCrossTraffic regenerates the cross-traffic comparison over random
 // §8.4 mesh topologies: relays carry their own contending flows while the
-// source routes packets to the destination.
+// source routes packets to the destination. With o.CSRangeM set (the
+// spatial-mesh variant) the relays are spread across a stretched floor, so
+// cross flows in different cells reuse the medium concurrently and corrupt
+// each other as hidden terminals.
 func RunCrossTraffic(o CrossTrafficOptions) CrossTrafficResult {
 	cfg := Profile80211()
 	env := testbed.Mesh(cfg)
+	if o.WidthScale > 1 {
+		env.Width *= o.WidthScale
+	}
 	rate, err := modem.RateByMbps(o.RateMbps)
 	if err != nil {
 		panic(err)
 	}
 	m := mac.Default(cfg)
 	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	var model netsim.InterferenceModel
+	if !o.Legacy {
+		// The cross flows' rate table: the standard rates under AdaptCross,
+		// the single fixed rate otherwise.
+		rates := []modem.Rate{rate}
+		if o.AdaptCross {
+			rates = modem.StandardRates()
+		}
+		model = netsim.NewRateAware(cfg, rates, o.Payload)
+	}
 
-	type tpRes struct{ spAlone, spLoaded, ssAlone, ssLoaded float64 }
+	type tpRes struct {
+		spAlone, spLoaded, ssAlone, ssLoaded float64
+		crossHidden                          int
+		crossCorruption                      []netsim.RateCorruption
+	}
 	rows := engine.Map(ec, 0, o.Topologies, func(tp int, rng *rand.Rand) tpRes {
-		topo := randomMeshTopology(rng, env)
+		topo := randomMeshTopology(rng, env, o.CSRangeM > 0)
 		meas := topo.Measure(rng, rate, o.Payload, o.Probes, 0.1)
-		sim := &exor.Sim{Topo: topo, Meas: meas, Mac: m, Rate: rate, Payload: o.Payload}
+		sim := &exor.Sim{Topo: topo, Meas: meas, Mac: m, Rate: rate, Payload: o.Payload,
+			CSRangeM: o.CSRangeM, Model: model, AdaptCross: o.AdaptCross}
 		// Cross flows between distinct relays (nodes 1..N-2), drawn per
 		// topology.
 		relays := topo.N() - 2
@@ -204,10 +316,16 @@ func RunCrossTraffic(o CrossTrafficOptions) CrossTrafficResult {
 			cross[i] = exor.CrossFlow{From: from, To: to, Packets: o.CrossPackets}
 		}
 		spAlone := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.SinglePath, o.Packets)
-		spLoaded, _ := sim.RunWithCross(rand.New(rand.NewSource(rng.Int63())), exor.SinglePath, o.Packets, cross)
+		spLoaded, spCross := sim.RunWithCross(rand.New(rand.NewSource(rng.Int63())), exor.SinglePath, o.Packets, cross)
 		ssAlone := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.ExORSourceSync, o.Packets)
-		ssLoaded, _ := sim.RunWithCross(rand.New(rand.NewSource(rng.Int63())), exor.ExORSourceSync, o.Packets, cross)
-		return tpRes{spAlone.ThroughputBps, spLoaded.ThroughputBps, ssAlone.ThroughputBps, ssLoaded.ThroughputBps}
+		ssLoaded, ssCross := sim.RunWithCross(rand.New(rand.NewSource(rng.Int63())), exor.ExORSourceSync, o.Packets, cross)
+		r := tpRes{spAlone: spAlone.ThroughputBps, spLoaded: spLoaded.ThroughputBps,
+			ssAlone: ssAlone.ThroughputBps, ssLoaded: ssLoaded.ThroughputBps}
+		for _, c := range append(spCross, ssCross...) {
+			r.crossHidden += c.HiddenLosses
+			r.crossCorruption = netsim.MergeRateCorruption(r.crossCorruption, c.RateCorruption)
+		}
+		return r
 	})
 
 	var res CrossTrafficResult
@@ -226,6 +344,8 @@ func RunCrossTraffic(o CrossTrafficOptions) CrossTrafficResult {
 		if r.spLoaded > 0 {
 			gain = append(gain, r.ssLoaded/r.spLoaded)
 		}
+		res.CrossHiddenLosses += r.crossHidden
+		res.CrossRateCorruption = netsim.MergeRateCorruption(res.CrossRateCorruption, r.crossCorruption)
 	}
 	sortFloats(res.SinglePathAloneMbps)
 	sortFloats(res.SinglePathLoadedMbps)

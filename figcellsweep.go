@@ -8,6 +8,8 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lasthop"
 	"repro/internal/mac"
+	"repro/internal/modem"
+	"repro/internal/netsim"
 	"repro/internal/testbed"
 )
 
@@ -27,20 +29,43 @@ type CellSweepOptions struct {
 	Packets    int   // downlink packets per client
 	Payload    int
 	CSRangeM   float64 // carrier-sense range between transmitters (meters)
-	// CaptureDB is the SINR threshold of netsim's interference model: it
-	// gates physical-layer capture within collisions and decode against
-	// hidden-terminal interference from out-of-range cells. 0 disables
-	// both.
+	// CaptureDB is the SINR threshold of the legacy binary interference
+	// model: it gates physical-layer capture within collisions and decode
+	// against hidden-terminal interference from out-of-range cells. 0
+	// disables both. Used only under Legacy.
 	CaptureDB float64
+	// Legacy runs the sweep on the historical binary CaptureDB gate
+	// instead of the rate-aware effective-SNR model (the default): under
+	// rate-aware, every interfered downlink is corrupted or degraded at
+	// its own rate's decode threshold.
+	Legacy bool
+	// WindowSec switches every run to fixed-time-window saturation mode:
+	// unbounded backlogs drained for this many virtual seconds (Packets
+	// ignored), so one starved boundary client no longer gates a run's
+	// elapsed time. 0 keeps the drain-the-backlog mode.
+	WindowSec float64
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
 }
 
+// model returns the interference model the sweep runs: nil (the binary
+// CaptureDB gate) under Legacy, otherwise rate-aware decode thresholds
+// over the SampleRate rate table. Models are read-only after construction,
+// so one instance is shared across all worker goroutines.
+func (o CellSweepOptions) model(cfg *modem.Config) netsim.InterferenceModel {
+	if o.Legacy {
+		return nil
+	}
+	return netsim.NewRateAware(cfg, modem.StandardRates(), o.Payload)
+}
+
 // DefaultCellSweepOptions returns the parameters used by ssbench: two
-// cells, two APs each, clients swept 1..8 per cell, 30 m carrier sense
-// with a 6 dB SINR threshold — roughly the decode margin of the robust
-// rates, so hidden-terminal corruption bites at cell boundaries without
+// cells, two APs each, clients swept 1..8 per cell, 30 m carrier sense.
+// The default sweep runs the rate-aware interference model (each downlink
+// gated at its own rate's decode threshold); the 6 dB CaptureDB only
+// applies under Legacy, where it approximates the robust rates' decode
+// margin so hidden-terminal corruption bites at cell boundaries without
 // drowning the reuse the sweep exists to measure.
 func DefaultCellSweepOptions() CellSweepOptions {
 	return CellSweepOptions{
@@ -50,13 +75,13 @@ func DefaultCellSweepOptions() CellSweepOptions {
 	}
 }
 
-// CellSweepPoint is one point of the saturation curve: medians across
-// placements at a fixed client count per cell.
-type CellSweepPoint struct {
-	ClientsPerCell int
-	SingleAggMbps  float64 // median aggregate, best single AP per client
-	JointAggMbps   float64 // median aggregate, SourceSync joint service
-	MedianGain     float64 // per-placement joint/single, median
+// SweepStats are the per-point statistics shared by every cellsweep table
+// (clients-per-cell, cell-count, carrier-sense range): medians and means
+// across the placements at one swept value.
+type SweepStats struct {
+	SingleAggMbps float64 // median aggregate, best single AP per client
+	JointAggMbps  float64 // median aggregate, SourceSync joint service
+	MedianGain    float64 // per-placement joint/single, median
 	// CollisionRate is the fraction of medium acquisitions whose transmit
 	// groups collided, averaged over the joint runs.
 	CollisionRate float64
@@ -64,12 +89,42 @@ type CellSweepPoint struct {
 	// averaged over the joint runs: concurrent out-of-range downlinks
 	// corrupting each other at the receivers.
 	HiddenRate float64
+	// CaptureRate is captures per acquisition averaged over the joint
+	// runs: colliding downlinks the interference model let survive.
+	CaptureRate float64
+	// RateCorruption aggregates the interference model's per-rate outcomes
+	// over every joint run at this sweep point (index = SampleRate rate
+	// index): interfered / corrupted / degraded counts and summed decode
+	// margins.
+	RateCorruption []netsim.RateCorruption
 	// MeanUtilization is busy time over elapsed time in the joint runs;
 	// values above 1 mean several cells carried frames concurrently
 	// (spatial reuse at work). With the event-driven per-neighborhood
 	// clock it approaches the cell count under saturation, minus what
 	// hidden terminals and DCF overhead take.
 	MeanUtilization float64
+}
+
+// newSweepStats folds one swept value's placement reductions into the
+// shared table row.
+func newSweepStats(mp meanPlacement, agg aggMedians) SweepStats {
+	return SweepStats{
+		SingleAggMbps:   agg.single,
+		JointAggMbps:    agg.joint,
+		MedianGain:      agg.gain,
+		CollisionRate:   mp.collisionRate,
+		HiddenRate:      mp.hiddenRate,
+		CaptureRate:     mp.captureRate,
+		MeanUtilization: mp.utiliz,
+		RateCorruption:  mp.corruption,
+	}
+}
+
+// CellSweepPoint is one point of the saturation curve: the shared sweep
+// statistics at a fixed client count per cell.
+type CellSweepPoint struct {
+	ClientsPerCell int
+	SweepStats
 }
 
 // CellSweepResult is the full saturation-throughput-vs-clients sweep.
@@ -98,7 +153,7 @@ func (o CellSweepOptions) cellSpacing() float64 {
 // apart), clients 8-25 m from the nearest AP of their own cell, exactly as
 // RunCell places a single cell. Client flows are ordered cell-major so runs
 // reduce deterministically.
-func buildMultiCell(rng *rand.Rand, env *testbed.Testbed, m mac.Params, o CellSweepOptions, clientsPer int) lasthop.Cell {
+func buildMultiCell(rng *rand.Rand, env *testbed.Testbed, m mac.Params, o CellSweepOptions, model netsim.InterferenceModel, clientsPer int) lasthop.Cell {
 	spacing := o.cellSpacing()
 	nClients := o.Cells * clientsPer
 	cell := lasthop.Cell{
@@ -110,7 +165,9 @@ func buildMultiCell(rng *rand.Rand, env *testbed.Testbed, m mac.Params, o CellSw
 		PacketsPerClient: o.Packets,
 		CSRangeM:         o.CSRangeM,
 		CaptureDB:        o.CaptureDB,
+		Model:            model,
 		Env:              env,
+		WindowSec:        o.WindowSec,
 	}
 	for c := 0; c < o.Cells; c++ {
 		center := testbed.Point{X: spacing/2 + float64(c)*spacing, Y: env.Height / 2}
@@ -151,27 +208,31 @@ func buildMultiCell(rng *rand.Rand, env *testbed.Testbed, m mac.Params, o CellSw
 }
 
 // sweepPlacement is one placement's joint-vs-single comparison, shared by
-// the clients-per-cell and cell-count sweeps.
+// the clients-per-cell, cell-count, and carrier-sense sweeps.
 type sweepPlacement struct {
 	singleBps, jointBps       float64
 	collisionRate, hiddenRate float64
+	captureRate               float64
 	utiliz                    float64
+	corruption                []netsim.RateCorruption
 }
 
 // runPlacement lays out one multi-cell placement and drains it under both
 // serving modes on the shared spatial-reuse simulator.
-func runPlacement(rng *rand.Rand, env *testbed.Testbed, m mac.Params, o CellSweepOptions, clientsPer int) sweepPlacement {
-	cell := buildMultiCell(rng, env, m, o, clientsPer)
+func runPlacement(rng *rand.Rand, env *testbed.Testbed, m mac.Params, o CellSweepOptions, model netsim.InterferenceModel, clientsPer int) sweepPlacement {
+	cell := buildMultiCell(rng, env, m, o, model, clientsPer)
 	single := cell.RunBestSingleAP(rand.New(rand.NewSource(rng.Int63())))
 	joint := cell.RunJoint(rand.New(rand.NewSource(rng.Int63())))
 	r := sweepPlacement{
-		singleBps: single.AggregateBps,
-		jointBps:  joint.AggregateBps,
-		utiliz:    joint.Utilization,
+		singleBps:  single.AggregateBps,
+		jointBps:   joint.AggregateBps,
+		utiliz:     joint.Utilization,
+		corruption: joint.RateCorruption,
 	}
 	if joint.Acquisitions > 0 {
 		r.collisionRate = float64(joint.Collisions) / float64(joint.Acquisitions)
 		r.hiddenRate = float64(joint.HiddenLosses) / float64(joint.Acquisitions)
+		r.captureRate = float64(joint.Captures) / float64(joint.Acquisitions)
 	}
 	return r
 }
@@ -179,7 +240,8 @@ func runPlacement(rng *rand.Rand, env *testbed.Testbed, m mac.Params, o CellSwee
 // meanPlacement and aggMedians are reducePlacements' two views of a sweep
 // point: rate/utilization means, and Mbps/gain medians.
 type meanPlacement struct {
-	collisionRate, hiddenRate, utiliz float64
+	collisionRate, hiddenRate, captureRate, utiliz float64
+	corruption                                     []netsim.RateCorruption
 }
 type aggMedians struct {
 	single, joint, gain float64
@@ -198,11 +260,14 @@ func reducePlacements(rows []sweepPlacement) (meanPlacement, aggMedians) {
 		}
 		mp.collisionRate += r.collisionRate
 		mp.hiddenRate += r.hiddenRate
+		mp.captureRate += r.captureRate
 		mp.utiliz += r.utiliz
+		mp.corruption = netsim.MergeRateCorruption(mp.corruption, r.corruption)
 	}
 	if n := len(rows); n > 0 {
 		mp.collisionRate /= float64(n)
 		mp.hiddenRate /= float64(n)
+		mp.captureRate /= float64(n)
 		mp.utiliz /= float64(n)
 	}
 	return mp, aggMedians{
@@ -224,38 +289,27 @@ func RunCellSweep(o CellSweepOptions) CellSweepResult {
 	// annulus) stay as in the single-cell experiment.
 	env.Width = float64(o.Cells) * o.cellSpacing()
 	m := mac.Default(cfg)
+	model := o.model(cfg)
 	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
 
 	rows := engine.Grid(ec, len(o.ClientsPer), o.Placements, func(pt, pl int, rng *rand.Rand) sweepPlacement {
-		return runPlacement(rng, env, m, o, o.ClientsPer[pt])
+		return runPlacement(rng, env, m, o, model, o.ClientsPer[pt])
 	})
 
 	res := CellSweepResult{Points: make([]CellSweepPoint, len(o.ClientsPer))}
 	for pt := range o.ClientsPer {
 		mp, agg := reducePlacements(rows[pt])
-		res.Points[pt] = CellSweepPoint{
-			ClientsPerCell:  o.ClientsPer[pt],
-			SingleAggMbps:   agg.single,
-			JointAggMbps:    agg.joint,
-			MedianGain:      agg.gain,
-			CollisionRate:   mp.collisionRate,
-			HiddenRate:      mp.hiddenRate,
-			MeanUtilization: mp.utiliz,
-		}
+		res.Points[pt] = CellSweepPoint{ClientsPerCell: o.ClientsPer[pt], SweepStats: newSweepStats(mp, agg)}
 	}
 	return res
 }
 
-// CellCountPoint is one point of the capacity-vs-area curve: medians and
-// means across placements at a fixed cell count.
+// CellCountPoint is one point of the capacity-vs-area curve: the shared
+// sweep statistics at a fixed cell count (MeanUtilization approaches
+// Cells under saturation).
 type CellCountPoint struct {
-	Cells           int
-	SingleAggMbps   float64 // median aggregate, best single AP per client
-	JointAggMbps    float64 // median aggregate, SourceSync joint service
-	MedianGain      float64 // per-placement joint/single, median
-	CollisionRate   float64 // collided transmit groups per acquisition
-	HiddenRate      float64 // hidden-terminal corruptions per acquisition
-	MeanUtilization float64 // approaches Cells under saturation
+	Cells int
+	SweepStats
 }
 
 // RunCellCountSweep traces aggregate capacity versus the number of
@@ -267,6 +321,7 @@ type CellCountPoint struct {
 func RunCellCountSweep(o CellSweepOptions, cellCounts []int, clientsPer int) []CellCountPoint {
 	cfg := Profile80211()
 	m := mac.Default(cfg)
+	model := o.model(cfg)
 	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
 
 	rows := engine.Grid(ec, len(cellCounts), o.Placements, func(pt, pl int, rng *rand.Rand) sweepPlacement {
@@ -274,21 +329,51 @@ func RunCellCountSweep(o CellSweepOptions, cellCounts []int, clientsPer int) []C
 		oc.Cells = cellCounts[pt]
 		env := testbed.Mesh(cfg)
 		env.Width = float64(oc.Cells) * oc.cellSpacing()
-		return runPlacement(rng, env, m, oc, clientsPer)
+		return runPlacement(rng, env, m, oc, model, clientsPer)
 	})
 
 	out := make([]CellCountPoint, len(cellCounts))
 	for pt := range cellCounts {
 		mp, agg := reducePlacements(rows[pt])
-		out[pt] = CellCountPoint{
-			Cells:           cellCounts[pt],
-			SingleAggMbps:   agg.single,
-			JointAggMbps:    agg.joint,
-			MedianGain:      agg.gain,
-			CollisionRate:   mp.collisionRate,
-			HiddenRate:      mp.hiddenRate,
-			MeanUtilization: mp.utiliz,
-		}
+		out[pt] = CellCountPoint{Cells: cellCounts[pt], SweepStats: newSweepStats(mp, agg)}
+	}
+	return out
+}
+
+// CSRangePoint is one point of the capacity-vs-carrier-sense curve: the
+// shared sweep statistics at a fixed carrier-sense range.
+type CSRangePoint struct {
+	CSRangeM float64
+	SweepStats
+}
+
+// RunCSRangeSweep traces aggregate capacity versus carrier-sense range at
+// a fixed cell count and client density — the other axis of the
+// capacity-vs-area picture. A shorter range packs the cells tighter
+// (cellSpacing scales with CSRangeM), so more neighborhoods reuse the
+// medium concurrently but more of their frames collide at shared
+// receivers as hidden terminals; a longer range spaces the cells out and
+// serializes them. The interference model prices that tradeoff: the
+// HiddenRate and per-rate corruption columns quantify what denser reuse
+// costs.
+func RunCSRangeSweep(o CellSweepOptions, csRanges []float64, clientsPer int) []CSRangePoint {
+	cfg := Profile80211()
+	m := mac.Default(cfg)
+	model := o.model(cfg)
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+
+	rows := engine.Grid(ec, len(csRanges), o.Placements, func(pt, pl int, rng *rand.Rand) sweepPlacement {
+		oc := o
+		oc.CSRangeM = csRanges[pt]
+		env := testbed.Mesh(cfg)
+		env.Width = float64(oc.Cells) * oc.cellSpacing()
+		return runPlacement(rng, env, m, oc, model, clientsPer)
+	})
+
+	out := make([]CSRangePoint, len(csRanges))
+	for pt := range csRanges {
+		mp, agg := reducePlacements(rows[pt])
+		out[pt] = CSRangePoint{CSRangeM: csRanges[pt], SweepStats: newSweepStats(mp, agg)}
 	}
 	return out
 }

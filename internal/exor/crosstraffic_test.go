@@ -1,6 +1,7 @@
 package exor
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -48,7 +49,8 @@ func TestCrossTrafficDeterministicGivenSeed(t *testing.T) {
 	}
 	a, ca := run()
 	b, cb := run()
-	if a != b || ca[0] != cb[0] {
+	// Result holds a slice (RateCorruption), so compare rendered values.
+	if fmt.Sprintf("%+v%+v", a, ca[0]) != fmt.Sprintf("%+v%+v", b, cb[0]) {
 		t.Fatalf("nondeterministic: %+v/%+v vs %+v/%+v", a, ca[0], b, cb[0])
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/modem"
 	"repro/internal/netsim"
+	"repro/internal/samplerate"
 	"repro/internal/sls"
 	"repro/internal/testbed"
 )
@@ -119,9 +120,17 @@ type Sim struct {
 	// transmitter moves hop by hop, so it stays unplaced and contends with
 	// everyone.
 	CSRangeM float64
-	// CaptureDB is the SINR threshold for physical-layer capture during
-	// collisions; 0 disables capture.
+	// CaptureDB is the SINR threshold of the legacy binary interference
+	// model; 0 disables capture. Ignored when Model is set.
 	CaptureDB float64
+	// Model selects the netsim interference model settling interfered
+	// frames (e.g. netsim.NewRateAware over the cross flows' rate table);
+	// nil falls back to the binary CaptureDB gate.
+	Model netsim.InterferenceModel
+	// AdaptCross gives every cross flow a SampleRate controller over the
+	// standard rate table instead of the simulation's fixed Rate, so rate
+	// adaptation reacts to contention and interference-degraded loss.
+	AdaptCross bool
 }
 
 // Result is the outcome of a scheme simulation. AirTime is the virtual
@@ -133,9 +142,16 @@ type Result struct {
 	Transmissions int
 	// HiddenLosses counts attempts corrupted by concurrent out-of-range
 	// transmitters (hidden terminals); nonzero only for placed cross flows
-	// under a finite CSRangeM with CaptureDB set.
+	// under a finite CSRangeM with an interference model configured.
 	HiddenLosses int
-	AirTime      float64
+	// Degraded counts attempts whose delivery draw ran at an
+	// interference-degraded effective SNR (rate-aware model only).
+	Degraded int
+	// RateCorruption[r] is the interference model's per-rate outcome
+	// tally for this flow (rate index r of the flow's own rate table:
+	// the standard rates under AdaptCross, index 0 otherwise).
+	RateCorruption []netsim.RateCorruption
+	AirTime        float64
 }
 
 // CrossFlow describes one contending single-hop stream riding on the same
@@ -163,6 +179,7 @@ func (s *Sim) RunWithCross(rng *rand.Rand, scheme Scheme, nPackets int, cross []
 	sim := netsim.New(s.Mac, rng)
 	sim.CSRangeM = s.CSRangeM
 	sim.CaptureDB = s.CaptureDB
+	sim.Model = s.Model
 	sim.Env = s.Topo.Env
 
 	// delivered counts end-to-end packets; a netsim "delivered frame" is
@@ -180,25 +197,8 @@ func (s *Sim) RunWithCross(rng *rand.Rand, scheme Scheme, nPackets int, cross []
 	sim.AddFlow(primary)
 
 	crossFlows := make([]*netsim.Flow, len(cross))
-	ft := s.Mac.FrameDuration(s.Rate, s.Payload)
 	for i, cf := range cross {
-		cf := cf
-		remaining := cf.Packets
-		crossFlows[i] = sim.AddFlow(&netsim.Flow{
-			Name:  "cross",
-			Acked: true,
-			Radio: &netsim.Radio{
-				TxPos: s.Topo.Positions[cf.From],
-				RxPos: s.Topo.Positions[cf.To],
-				SNRdB: s.Topo.Links[cf.From][cf.To].SNRdB,
-			},
-			HasTraffic: func() bool { return remaining > 0 },
-			FrameTime:  func(int) float64 { return ft },
-			Deliver: func(rng *rand.Rand, _ int) bool {
-				return s.Topo.Deliver(rng, cf.From, cf.To, s.Rate, s.Payload)
-			},
-			Done: func(_ int, _ bool, _ float64) { remaining-- },
-		})
+		crossFlows[i] = sim.AddFlow(s.crossFlow(cf))
 	}
 
 	sim.Run()
@@ -206,10 +206,14 @@ func (s *Sim) RunWithCross(rng *rand.Rand, scheme Scheme, nPackets int, cross []
 	elapsed := sim.Now()
 	mk := func(f *netsim.Flow, deliveredPkts int) Result {
 		r := Result{
-			Delivered:     deliveredPkts,
-			Transmissions: f.Attempts,
-			HiddenLosses:  f.HiddenLosses,
-			AirTime:       elapsed,
+			Delivered:      deliveredPkts,
+			Transmissions:  f.Attempts,
+			HiddenLosses:   f.HiddenLosses,
+			RateCorruption: f.RateCorruption,
+			AirTime:        elapsed,
+		}
+		for _, rc := range f.RateCorruption {
+			r.Degraded += rc.Degraded
 		}
 		if elapsed > 0 {
 			r.ThroughputBps = float64(deliveredPkts*s.Payload*8) / elapsed
@@ -224,6 +228,55 @@ func (s *Sim) RunWithCross(rng *rand.Rand, scheme Scheme, nPackets int, cross []
 		crossRes[i] = mk(f, f.Delivered)
 	}
 	return res, crossRes
+}
+
+// crossFlow builds one contending single-hop stream: Packets unicast
+// frames From -> To with normal DCF ARQ, placed at its endpoints'
+// positions so spatial reuse and interference apply. With AdaptCross the
+// flow runs its own SampleRate controller over the standard rate table —
+// rate adaptation reacting to contention and interference-degraded loss —
+// otherwise every frame goes at the simulation's fixed Rate.
+func (s *Sim) crossFlow(cf CrossFlow) *netsim.Flow {
+	link := s.Topo.Links[cf.From][cf.To]
+	remaining := cf.Packets
+	f := &netsim.Flow{
+		Name:  "cross",
+		Acked: true,
+		Radio: &netsim.Radio{
+			TxPos: s.Topo.Positions[cf.From],
+			RxPos: s.Topo.Positions[cf.To],
+			SNRdB: link.SNRdB,
+		},
+		HasTraffic: func() bool { return remaining > 0 },
+		Done:       func(_ int, _ bool, _ float64) { remaining-- },
+	}
+	if !s.AdaptCross {
+		ft := s.Mac.FrameDuration(s.Rate, s.Payload)
+		f.FrameTime = func(int) float64 { return ft }
+		f.Deliver = func(rng *rand.Rand, _ int, ix netsim.Interference) bool {
+			return netsim.LinkDeliverScaled(rng, link, s.Rate, s.Payload, ix.SNRScale)
+		}
+		return f
+	}
+	rates := modem.StandardRates()
+	ft := make([]float64, len(rates))
+	for i, r := range rates {
+		ft[i] = s.Mac.FrameDuration(r, s.Payload)
+	}
+	sr := samplerate.New(ft)
+	f.Prepare = func(rng *rand.Rand) int {
+		idx, _ := sr.Pick(rng)
+		return idx
+	}
+	f.FrameTime = func(i int) float64 { return ft[i] }
+	f.Deliver = func(rng *rand.Rand, i int, ix netsim.Interference) bool {
+		return netsim.LinkDeliverScaled(rng, link, sr.Rate(i), s.Payload, ix.SNRScale)
+	}
+	f.Done = func(i int, delivered bool, air float64) {
+		remaining--
+		sr.Update(i, delivered, air)
+	}
+	return f
 }
 
 // singlePathFlow expresses min-ETX routing with per-hop ARQ as one flow:
@@ -245,7 +298,9 @@ func (s *Sim) singlePathFlow(nPackets int) (*netsim.Flow, *int) {
 		HasTraffic: func() bool { return remaining > 0 },
 		FrameTime:  func(int) float64 { return ft },
 	}
-	f.Deliver = func(rng *rand.Rand, _ int) bool {
+	// The routed flow is unplaced (its transmitter moves hop by hop), so
+	// it is never interfered: the context stays clean and is ignored.
+	f.Deliver = func(rng *rand.Rand, _ int, _ netsim.Interference) bool {
 		return s.Topo.Deliver(rng, path[hop], path[hop+1], s.Rate, s.Payload)
 	}
 	f.Done = func(_ int, delivered bool, _ float64) {
@@ -323,7 +378,7 @@ func (s *Sim) exorFlow(nPackets int, sourceSync bool) (*netsim.Flow, *int) {
 		return 0
 	}
 	f.FrameTime = func(int) float64 { return jointFT[len(senders)-1] }
-	f.Deliver = func(rng *rand.Rand, _ int) bool {
+	f.Deliver = func(rng *rand.Rand, _ int, _ netsim.Interference) bool {
 		lead := senders[0]
 		// Receptions at every node closer to the destination than the lead
 		// (the forwarder set for this transmission).

@@ -16,9 +16,12 @@ import (
 // fields set (positions, Env, CSRangeM) the clients may span several
 // carrier-sense neighborhoods — e.g. multiple cells of a building — whose
 // downlinks reuse the medium concurrently, each neighborhood advancing at
-// its own pace on netsim's event clock. With CaptureDB set, concurrent
+// its own pace on netsim's event clock. With an interference model
+// configured (Model, or the legacy CaptureDB gate), concurrent
 // out-of-range downlinks can also corrupt each other at the receivers
-// (hidden terminals); those losses surface as HiddenLosses.
+// (hidden terminals) — those losses surface as HiddenLosses — and, under
+// the rate-aware model, degrade each other's delivery draws (surfaced as
+// Degraded and the per-rate RateCorruption stats).
 type Cell struct {
 	Mac          mac.Params
 	PayloadBytes int
@@ -39,11 +42,22 @@ type Cell struct {
 	// CSRangeM is the carrier-sense range between transmitters (meters);
 	// <= 0 keeps every flow in one collision domain.
 	CSRangeM float64
-	// CaptureDB is the SINR threshold for physical-layer capture during
-	// collisions; 0 disables capture.
+	// CaptureDB is the SINR threshold of the legacy binary interference
+	// model; 0 disables capture. Ignored when Model is set.
 	CaptureDB float64
+	// Model selects the netsim interference model settling interfered
+	// downlinks (e.g. netsim.NewRateAware over the SampleRate rate table);
+	// nil falls back to the binary CaptureDB gate.
+	Model netsim.InterferenceModel
 	// Env prices interference for the capture model.
 	Env *testbed.Testbed
+
+	// WindowSec switches the run to fixed-time-window saturation mode:
+	// when positive, every client offers an unbounded backlog and the run
+	// stops once the virtual clock reaches the window, so one starved
+	// boundary client no longer gates the elapsed time. PacketsPerClient
+	// is ignored in this mode.
+	WindowSec float64
 }
 
 // ClientResult is one client's share of a cell run.
@@ -54,8 +68,12 @@ type ClientResult struct {
 	Collisions    int
 	// HiddenLosses counts downlink attempts corrupted by transmitters
 	// beyond carrier-sense range (hidden terminals); always 0 unless the
-	// cell sets CaptureDB and spans several neighborhoods.
+	// cell configures an interference model and spans several
+	// neighborhoods.
 	HiddenLosses int
+	// Degraded counts attempts whose delivery draw ran at an
+	// interference-degraded effective SNR (rate-aware model only).
+	Degraded int
 }
 
 // CellResult summarizes a cell run.
@@ -66,12 +84,20 @@ type CellResult struct {
 	Elapsed      float64 // virtual seconds to drain every backlog
 	Acquisitions int
 	Collisions   int // collision rounds on the medium
+	// Captures sums the clients' colliding attempts that survived by
+	// physical-layer capture (the interference model cleared them).
+	Captures int
 	// HiddenLosses sums the clients' attempts corrupted by hidden-terminal
 	// interference (out-of-range concurrent transmitters).
 	HiddenLosses int
 	// Utilization is busy time over elapsed time; under spatial reuse it
 	// may exceed 1 (several neighborhoods carrying frames at once).
 	Utilization float64
+	// RateCorruption[r] aggregates the interference model's outcomes for
+	// rate index r across every client — the per-rate corruption-margin
+	// stats (interfered / corrupted / degraded counts and summed decode
+	// margins). Empty when no attempt was interfered with a model engaged.
+	RateCorruption []netsim.RateCorruption
 }
 
 // clientPlan is one client's serving decision: its per-attempt reception
@@ -79,7 +105,7 @@ type CellResult struct {
 // own co-sender count, so tables differ when Links rows are ragged), and,
 // when the cell is spatial, the geometry of its downlink flow.
 type clientPlan struct {
-	attempt func(*rand.Rand, int, *samplerate.SampleRate) bool
+	attempt func(*rand.Rand, int, *samplerate.SampleRate, netsim.Interference) bool
 	ft      []float64
 	radio   *netsim.Radio
 }
@@ -123,8 +149,8 @@ func (c Cell) RunBestSingleAP(rng *rand.Rand) CellResult {
 		best := c.bestAP(client)
 		link := c.Links[client][best]
 		return clientPlan{
-			attempt: func(rng *rand.Rand, idx int, sr *samplerate.SampleRate) bool {
-				return netsim.LinkDeliver(rng, link, sr.Rate(idx), c.PayloadBytes)
+			attempt: func(rng *rand.Rand, idx int, sr *samplerate.SampleRate, ix netsim.Interference) bool {
+				return netsim.LinkDeliverScaled(rng, link, sr.Rate(idx), c.PayloadBytes, ix.SNRScale)
 			},
 			ft:    ft,
 			radio: c.radioFor(client, best),
@@ -152,8 +178,8 @@ func (c Cell) RunJoint(rng *rand.Rand) CellResult {
 			ftByCo[numCo] = ft
 		}
 		return clientPlan{
-			attempt: func(rng *rand.Rand, idx int, sr *samplerate.SampleRate) bool {
-				return netsim.JointLinkDeliver(rng, links, sr.Rate(idx), c.PayloadBytes)
+			attempt: func(rng *rand.Rand, idx int, sr *samplerate.SampleRate, ix netsim.Interference) bool {
+				return netsim.JointLinkDeliverScaled(rng, links, sr.Rate(idx), c.PayloadBytes, ix.SNRScale)
 			},
 			ft:    ft,
 			radio: c.radioFor(client, c.bestAP(client)),
@@ -168,6 +194,7 @@ func (c Cell) run(rng *rand.Rand, plan func(client int) clientPlan) CellResult {
 	sim := netsim.New(c.Mac, rng)
 	sim.CSRangeM = c.CSRangeM
 	sim.CaptureDB = c.CaptureDB
+	sim.Model = c.Model
 	sim.Env = c.Env
 	n := len(c.Links)
 	flows := make([]*netsim.Flow, n)
@@ -177,17 +204,23 @@ func (c Cell) run(rng *rand.Rand, plan func(client int) clientPlan) CellResult {
 		remaining := c.PacketsPerClient
 		attempt := p.attempt
 		ft := p.ft
+		hasTraffic := func() bool { return remaining > 0 }
+		if c.WindowSec > 0 {
+			// Fixed-window saturation: backlogs never drain; the clock,
+			// not the slowest client, ends the run.
+			hasTraffic = func() bool { return true }
+		}
 		flows[client] = sim.AddFlow(&netsim.Flow{
 			Acked:      true,
 			Radio:      p.radio,
-			HasTraffic: func() bool { return remaining > 0 },
+			HasTraffic: hasTraffic,
 			Prepare: func(rng *rand.Rand) int {
 				idx, _ := sr.Pick(rng)
 				return idx
 			},
 			FrameTime: func(i int) float64 { return ft[i] },
-			Deliver: func(rng *rand.Rand, i int) bool {
-				return attempt(rng, i, sr)
+			Deliver: func(rng *rand.Rand, i int, ix netsim.Interference) bool {
+				return attempt(rng, i, sr, ix)
 			},
 			Done: func(i int, delivered bool, air float64) {
 				remaining--
@@ -195,7 +228,11 @@ func (c Cell) run(rng *rand.Rand, plan func(client int) clientPlan) CellResult {
 			},
 		})
 	}
-	sim.Run()
+	if c.WindowSec > 0 {
+		sim.RunUntil(c.WindowSec)
+	} else {
+		sim.Run()
+	}
 
 	res := CellResult{
 		PerClient:    make([]ClientResult, n),
@@ -210,11 +247,16 @@ func (c Cell) run(rng *rand.Rand, plan func(client int) clientPlan) CellResult {
 			Collisions:   f.Collisions,
 			HiddenLosses: f.HiddenLosses,
 		}
+		for _, rc := range f.RateCorruption {
+			res.PerClient[i].Degraded += rc.Degraded
+		}
 		if res.Elapsed > 0 {
 			res.PerClient[i].ThroughputBps = float64(f.Delivered*c.PayloadBytes*8) / res.Elapsed
 		}
 		res.Delivered += f.Delivered
 		res.HiddenLosses += f.HiddenLosses
+		res.Captures += f.Captures
+		res.RateCorruption = netsim.MergeRateCorruption(res.RateCorruption, f.RateCorruption)
 	}
 	if res.Elapsed > 0 {
 		res.AggregateBps = float64(res.Delivered*c.PayloadBytes*8) / res.Elapsed

@@ -114,7 +114,8 @@ func (c Config) run(rng *rand.Rand, sr *samplerate.SampleRate, ft []float64, suc
 			return idx
 		},
 		FrameTime: func(i int) float64 { return ft[i] },
-		Deliver: func(rng *rand.Rand, i int) bool {
+		Deliver: func(rng *rand.Rand, i int, _ netsim.Interference) bool {
+			// A lone downlink is never interfered; the context stays clean.
 			return succeeds(rng, sr.Rate(i))
 		},
 		Done: func(i int, delivered bool, air float64) {

@@ -70,3 +70,34 @@ func BenchmarkHiddenTerminalPair(b *testing.B) {
 		s.Run()
 	}
 }
+
+// benchInterference drains a saturated hidden-terminal pair under the
+// given interference model — the hot path where every settled frame pays
+// for effectiveSINRdB (overlap sweep) plus one model Settle call. The
+// frames/s metric lands in BENCH_netsim.json so the interference layer's
+// cost is tracked per commit; CI's bench job fails if these benchmarks
+// vanish from the artifact.
+func benchInterference(b *testing.B, model InterferenceModel) {
+	const packets = 50
+	frames := 0
+	for i := 0; i < b.N; i++ {
+		s, env := benchSim(int64(4 + i))
+		s.CSRangeM = 50
+		s.Model = model
+		s.Env = env
+		s.AddFlow(placedFlow("a", packets, 1e-3, testbed.Point{X: 0, Y: 0}, testbed.Point{X: 58, Y: 0}, 25))
+		s.AddFlow(placedFlow("b", packets, 1e-3, testbed.Point{X: 60, Y: 0}, testbed.Point{X: 2, Y: 0}, 25))
+		s.Run()
+		frames += 2 * packets
+	}
+	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/s")
+}
+
+func BenchmarkInterferenceLegacyThreshold(b *testing.B) {
+	benchInterference(b, LegacyThreshold{CaptureDB: 10})
+}
+
+func BenchmarkInterferenceRateAware(b *testing.B) {
+	cfg := modem.Profile80211()
+	benchInterference(b, NewRateAware(cfg, modem.StandardRates(), 1460))
+}

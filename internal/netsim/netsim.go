@@ -35,21 +35,26 @@
 //     instant collide; flows out of carrier-sense range of every active
 //     transmitter proceed concurrently — spatial reuse.
 //  3. A frame is settled when its airtime ends, against every transmission
-//     that overlapped it in the air. In-range overlaps are colliders: a
-//     collision destroys every frame in the group unless a capture
-//     threshold is configured and the frame's SINR at its own receiver —
-//     serving-link SNR over the worst simultaneous median interference the
-//     frame saw, from transmitters in range or not — clears it
-//     (physical-layer capture; interference power comes from the testbed's
-//     median path loss, so no randomness is consumed). Out-of-range
-//     overlaps are hidden terminals: when the capture model is configured
-//     (CaptureDB, Env, per-flow Radio), a frame whose SINR over those
-//     interferers falls below the threshold is corrupted even though its
-//     own neighborhood was clean. Interference is additive only while air
-//     intervals actually coincide — successive far-cell frames are not a
-//     doubled interferer. With the capture model off, hidden terminals are
-//     not modeled and frames fail only by collision or by their own
-//     delivery draw.
+//     that overlapped it in the air. The simulator computes the frame's
+//     effective SNR — serving-link SNR over the worst simultaneous median
+//     interference the frame saw at its receiver, from transmitters in
+//     range or not (interference power comes from the testbed's median
+//     path loss, so no randomness is consumed) — and hands it to the
+//     pluggable InterferenceModel (Sim.Model; nil means LegacyThreshold
+//     over Sim.CaptureDB). In-range overlaps are colliders: a collision
+//     destroys every frame in the group unless the model rules the frame
+//     captured (its effective SINR clears the model's decode threshold —
+//     one fixed threshold for LegacyThreshold, the frame's own rate's
+//     decode floor for RateAware). Out-of-range overlaps are hidden
+//     terminals: a frame the model corrupts is lost even though its own
+//     neighborhood was clean, and a frame that survives carries the
+//     model's delivery-draw degradation (RateAware scales the draw's
+//     subcarrier SNRs down to the effective SNR; LegacyThreshold never
+//     degrades). Interference is additive only while air intervals
+//     actually coincide — successive far-cell frames are not a doubled
+//     interferer. With no model configured (Model nil, CaptureDB 0),
+//     hidden terminals are not modeled and frames fail only by collision
+//     or by their own delivery draw.
 //  4. A transmission occupies its neighborhood for DIFS + backoff + frame
 //     airtime, plus the ACK exchange on success or the ACK timeout on
 //     failure; in-range flows resume their countdowns when that occupancy
@@ -114,8 +119,12 @@ type Flow struct {
 	Prepare func(rng *rand.Rand) int
 	// FrameTime returns the frame airtime in seconds at rate index r.
 	FrameTime func(r int) float64
-	// Deliver draws one reception attempt at rate index r.
-	Deliver func(rng *rand.Rand, r int) bool
+	// Deliver draws one reception attempt at rate index r. ix carries the
+	// interference context of the attempt: a scenario prices partial
+	// overlap by scaling its per-subcarrier SNR draws by ix.SNRScale
+	// (LinkDeliverScaled / JointLinkDeliverScaled); ignoring ix reproduces
+	// the historical threshold-only behavior.
+	Deliver func(rng *rand.Rand, r int, ix Interference) bool
 	// Done is called when the head-of-line frame completes — delivered, or
 	// dropped after the retry limit (acked flows) or its single attempt
 	// (unacked flows) — with the medium time the flow's own attempts
@@ -130,6 +139,10 @@ type Flow struct {
 	Captures     int     // colliding attempts that survived by capture
 	HiddenLosses int     // attempts corrupted by out-of-range (hidden) interferers
 	AirTime      float64 // medium time consumed by this flow's own attempts
+	// RateCorruption[r] accumulates the interference model's outcomes for
+	// attempts sent at rate index r (grown on demand; nil while no attempt
+	// of this flow was interfered with the model engaged).
+	RateCorruption []RateCorruption
 
 	// Head-of-line frame state.
 	inFlight bool
@@ -186,14 +199,20 @@ type Sim struct {
 	// with every other (one collision domain). Flows without Radio info
 	// always contend with everyone.
 	CSRangeM float64
-	// CaptureDB is the SINR threshold of the interference model: a
-	// colliding frame whose SINR at its own receiver is at least this many
-	// dB is received as if it were alone (physical-layer capture), and a
-	// frame overlapped by out-of-range transmitters (hidden terminals) is
-	// corrupted when its SINR falls below it. 0 disables both — every
-	// collision destroys all frames and hidden terminals never interfere.
-	// Requires Env and per-flow Radio info.
+	// CaptureDB is the SINR threshold of the LegacyThreshold interference
+	// model: a colliding frame whose SINR at its own receiver is at least
+	// this many dB is received as if it were alone (physical-layer
+	// capture), and a frame overlapped by out-of-range transmitters
+	// (hidden terminals) is corrupted when its SINR falls below it. With
+	// Model unset, 0 disables interference entirely — every collision
+	// destroys all frames and hidden terminals never interfere. Requires
+	// Env and per-flow Radio info. Ignored when Model is set.
 	CaptureDB float64
+	// Model selects the pluggable interference model that settles
+	// interfered frames (capture within collisions, decode against hidden
+	// terminals, delivery-draw degradation). Nil runs LegacyThreshold over
+	// CaptureDB — the historical binary gate, bit-for-bit.
+	Model InterferenceModel
 	// Env supplies the median path loss used to price interference
 	// (deterministic — the interference model consumes no randomness).
 	Env *testbed.Testbed
@@ -276,15 +295,41 @@ type interferer struct {
 	from, to float64
 }
 
-// sinrClears reports whether f's frame decodes through the given
-// interference history: the serving link's SNR over the worst
-// *simultaneous* interference power the frame saw at its receiver, plus
-// noise, clears the capture threshold. Interferers are additive only while
-// their air intervals actually coincide — two successive far-cell frames
-// are not a doubled interferer. Deterministic: no RNG is consumed.
-func (s *Sim) sinrClears(f *Flow, interferers []interferer) bool {
+// Interference is the interference context of one delivery draw, passed
+// to Flow.Deliver: how much the frame's effective SNR was degraded by the
+// simultaneous transmissions its decode nevertheless survived.
+type Interference struct {
+	// SNRScale is the linear factor (<= 1) to apply to the serving link's
+	// per-subcarrier SNRs; 1 for a clean (or legacy-model) reception.
+	SNRScale float64
+	// SINRdB is the frame's effective SNR in dB; +Inf when nothing
+	// overlapped the frame in the air.
+	SINRdB float64
+}
+
+// NoInterference is the context of a clean reception.
+func NoInterference() Interference {
+	return Interference{SNRScale: 1, SINRdB: math.Inf(1)}
+}
+
+// model returns the interference model in force: the pluggable Model when
+// set, otherwise the historical binary gate over CaptureDB.
+func (s *Sim) model() InterferenceModel {
+	if s.Model != nil {
+		return s.Model
+	}
+	return LegacyThreshold{CaptureDB: s.CaptureDB}
+}
+
+// effectiveSINRdB prices f's frame against the given interference history:
+// the serving link's SNR over the worst *simultaneous* interference power
+// the frame saw at its receiver, plus noise, in dB. Interferers are
+// additive only while their air intervals actually coincide — two
+// successive far-cell frames are not a doubled interferer. Deterministic:
+// no RNG is consumed.
+func (s *Sim) effectiveSINRdB(f *Flow, interferers []interferer) float64 {
 	sinr := math.Pow(10, f.Radio.SNRdB/10) / (1 + s.worstSimultaneous(interferers))
-	return 10*math.Log10(sinr) >= s.CaptureDB
+	return 10 * math.Log10(sinr)
 }
 
 // worstSimultaneous sweeps the interferers' overlap intervals and returns
@@ -319,11 +364,11 @@ type edge struct {
 	dp float64
 }
 
-// interferenceModeled reports whether the SINR interference model applies
-// to f's receptions (capture within collisions, corruption by hidden
-// terminals).
+// interferenceModeled reports whether the interference model applies to
+// f's receptions (capture within collisions, corruption by hidden
+// terminals, delivery-draw degradation).
 func (s *Sim) interferenceModeled(f *Flow) bool {
-	return s.CaptureDB > 0 && s.Env != nil && f.Radio != nil
+	return (s.Model != nil || s.CaptureDB > 0) && s.Env != nil && f.Radio != nil
 }
 
 // Step advances the simulator to its next event — a frame starting,
@@ -575,21 +620,39 @@ func (s *Sim) resolve(r *tx) {
 	}
 	s.interf = interf
 
-	// Decode decision. A collision destroys the frame unless it captures
-	// (SINR over the worst simultaneous interference clears the
-	// threshold); a clean-neighborhood frame still dies to hidden
-	// terminals when its SINR over them falls below the same threshold.
+	// Decode decision, delegated to the interference model. A collision
+	// destroys the frame unless the model rules it captured (its effective
+	// SINR clears the model's decode threshold); a clean-neighborhood
+	// frame interfered by hidden terminals is corrupted when the model
+	// says so, and otherwise carries the model's degradation into its
+	// delivery draw.
 	survives := true
+	ix := NoInterference()
+	settle := func(collision bool) bool {
+		sinr := s.effectiveSINRdB(f, interf)
+		v := s.model().Settle(Reception{
+			SINRdB:       sinr,
+			ServingSNRdB: f.Radio.SNRdB,
+			RateIdx:      f.rateIdx,
+			Collision:    collision,
+		})
+		for len(f.RateCorruption) <= f.rateIdx {
+			f.RateCorruption = append(f.RateCorruption, RateCorruption{})
+		}
+		f.RateCorruption[f.rateIdx].add(v)
+		ix = Interference{SNRScale: v.SNRScale, SINRdB: sinr}
+		return v.Survives
+	}
 	switch {
 	case nColliders > 0:
-		survives = s.interferenceModeled(f) && geometryKnown && s.sinrClears(f, interf)
+		survives = s.interferenceModeled(f) && geometryKnown && settle(true)
 		if survives {
 			f.Captures++
 		} else {
 			f.Collisions++
 		}
 	case len(interf) > 0:
-		survives = s.sinrClears(f, interf)
+		survives = settle(false)
 		if !survives {
 			f.HiddenLosses++
 			s.HiddenCorruptions++
@@ -598,7 +661,7 @@ func (s *Sim) resolve(r *tx) {
 
 	ok := false
 	if survives {
-		ok = f.Deliver(s.Rng, f.rateIdx)
+		ok = f.Deliver(s.Rng, f.rateIdx, ix)
 	}
 
 	// Busy accounting: colliding frames overlap in the air, so bill only
@@ -697,4 +760,25 @@ func (s *Sim) Run() {
 	}
 	panic(fmt.Sprintf("netsim: %d flows still backlogged after %d scheduler events — a flow's backlog never drains",
 		len(s.Flows), max))
+}
+
+// RunUntil steps the simulator until the virtual clock reaches the
+// deadline (in seconds) or every flow drains, whichever comes first — the
+// fixed-time-window saturation mode: flows may offer unbounded backlogs
+// and the run measures what the medium carried in the window, so no single
+// starved flow gates the elapsed time. The clock overshoots the deadline
+// by at most the final event's span; callers measure throughput over the
+// actual Now().
+func (s *Sim) RunUntil(deadline float64) {
+	max := s.MaxSteps
+	if max == 0 {
+		max = 1 << 26
+	}
+	for i := 0; i < max; i++ {
+		if s.now >= deadline || !s.Step() {
+			return
+		}
+	}
+	panic(fmt.Sprintf("netsim: clock at %.6fs of %.6fs after %d scheduler events — events are not advancing the clock",
+		s.now, deadline, max))
 }

@@ -20,7 +20,7 @@ func backloggedFlow(name string, packets int, ft, pDeliver float64) *Flow {
 		HasTraffic: func() bool { return remaining > 0 },
 		FrameTime:  func(int) float64 { return ft },
 	}
-	f.Deliver = func(rng *rand.Rand, _ int) bool { return rng.Float64() < pDeliver }
+	f.Deliver = func(rng *rand.Rand, _ int, _ Interference) bool { return rng.Float64() < pDeliver }
 	f.Done = func(_ int, _ bool, _ float64) { remaining-- }
 	return f
 }
@@ -134,7 +134,7 @@ func TestUnackedFlowSingleAttempt(t *testing.T) {
 		Name:       "bcast",
 		HasTraffic: func() bool { return remaining > 0 },
 		FrameTime:  func(int) float64 { return 1e-3 },
-		Deliver:    func(*rand.Rand, int) bool { return false }, // never received
+		Deliver:    func(*rand.Rand, int, Interference) bool { return false }, // never received
 		Done:       func(int, bool, float64) { remaining-- },
 	})
 	s.Run()
@@ -156,7 +156,7 @@ func TestAckedRetryLimitDropsFrame(t *testing.T) {
 		Acked:      true,
 		HasTraffic: func() bool { return remaining > 0 },
 		FrameTime:  func(int) float64 { return 1e-3 },
-		Deliver:    func(*rand.Rand, int) bool { return false },
+		Deliver:    func(*rand.Rand, int, Interference) bool { return false },
 		Done:       func(int, bool, float64) { remaining-- },
 	})
 	s.Run()

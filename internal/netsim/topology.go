@@ -82,17 +82,49 @@ func (t *Topology) DeliveryProb(rng *rand.Rand, i, j int, rate modem.Rate, paylo
 
 // LinkDeliver draws one reception over a single link at the given rate.
 func LinkDeliver(rng *rand.Rand, link testbed.Link, rate modem.Rate, payload int) bool {
-	per := permodel.PER(rate, payload, link.DrawSubcarrierSNRs(rng))
+	return LinkDeliverScaled(rng, link, rate, payload, 1)
+}
+
+// LinkDeliverScaled draws one reception over a single link with the
+// per-subcarrier SNRs scaled by snrScale — the effective-SNR degradation
+// an interference model charges a partially overlapped frame
+// (Interference.SNRScale). A scale of 1 is exactly LinkDeliver: the same
+// randomness is consumed either way, so degrading a draw never perturbs
+// the deterministic stream.
+func LinkDeliverScaled(rng *rand.Rand, link testbed.Link, rate modem.Rate, payload int, snrScale float64) bool {
+	bins := link.DrawSubcarrierSNRs(rng)
+	scaleBins(bins, snrScale)
+	per := permodel.PER(rate, payload, bins)
 	return rng.Float64() >= per
 }
 
 // JointLinkDeliver draws one reception of a joint transmission arriving
 // over several links at once (one per sender in the group).
 func JointLinkDeliver(rng *rand.Rand, links []testbed.Link, rate modem.Rate, payload int) bool {
+	return JointLinkDeliverScaled(rng, links, rate, payload, 1)
+}
+
+// JointLinkDeliverScaled is JointLinkDeliver with the post-combiner
+// per-subcarrier SNRs scaled by snrScale (interference degrades the summed
+// signal and the individual ones identically — the interferer is additive
+// noise at the one receiver).
+func JointLinkDeliverScaled(rng *rand.Rand, links []testbed.Link, rate modem.Rate, payload int, snrScale float64) bool {
 	per := make([][]float64, len(links))
 	for i, l := range links {
 		per[i] = l.DrawSubcarrierSNRs(rng)
 	}
 	bins := permodel.JointSNR(per)
+	scaleBins(bins, snrScale)
 	return rng.Float64() >= permodel.PER(rate, payload, bins)
+}
+
+// scaleBins multiplies every bin by scale, skipping the multiply at the
+// identity so an undegraded draw is bit-identical to the historical path.
+func scaleBins(bins []float64, scale float64) {
+	if scale == 1 {
+		return
+	}
+	for i := range bins {
+		bins[i] *= scale
+	}
 }
