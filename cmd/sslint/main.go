@@ -1,0 +1,204 @@
+// Command sslint machine-checks the simulator's determinism contract
+// (docs/ARCHITECTURE.md): byte-identical experiment output at any -workers
+// count. It runs four analyzers — detwallclock, detrand, detmaprange,
+// detgoroutine — with shared //sslint:allow suppression machinery.
+//
+// Two modes:
+//
+//	sslint [packages]                              # standalone, defaults to ./...
+//	go vet -vettool=$(go env GOPATH)/bin/sslint ./...   # vet tool protocol
+//
+// Standalone mode prints findings to stdout and exits 1 when any survive.
+// As a vet tool it speaks cmd/go's unitchecker protocol: invoked once per
+// package with a *.cfg JSON file, printing findings to stderr and exiting
+// 2 when any survive, so `go vet` aggregates and fails the build.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/sslint"
+)
+
+// version is reported to cmd/go's -V=full handshake and keys the vet
+// result cache: bump it when analyzer behavior changes so stale cached
+// diagnostics are not replayed.
+const version = "0.1.0"
+
+func main() {
+	progname := filepath.Base(os.Args[0])
+	vFlag := flag.String("V", "", "if 'full', print tool version and exit (cmd/go tool-ID protocol)")
+	flagsFlag := flag.Bool("flags", false, "print a JSON description of supported flags and exit (cmd/go vet protocol)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [packages]   (or via go vet -vettool)\n", progname)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	switch {
+	case strings.HasPrefix(*vFlag, "full"):
+		// cmd/go hashes this line into the build-cache action ID. The parser
+		// in cmd/go/internal/work.(*Builder).toolID demands "name version X"
+		// where X != "devel", or a trailing buildID= field; use a fixed
+		// version string so vet results are cached per tool release.
+		fmt.Printf("%s version %s\n", progname, version)
+		return
+	case *vFlag != "":
+		fmt.Printf("%s version %s\n", progname, version)
+		return
+	case *flagsFlag:
+		// No analyzer-specific flags beyond the protocol ones.
+		fmt.Println("[]")
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		vetUnit(args[0])
+		return
+	}
+	standalone(args)
+}
+
+// standalone loads the pattern-matched packages (and their test variants)
+// itself and prints every finding.
+func standalone(patterns []string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := load.Packages(cwd, patterns)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	found := 0
+	for _, p := range pkgs {
+		findings, err := sslint.Run(p.Fset, p.Files, p.Types, p.Info, sslint.Analyzers())
+		if err != nil {
+			fatalf("%s: %v", p.ID, err)
+		}
+		for _, f := range findings {
+			found++
+			fmt.Println(relativize(cwd, f.String()))
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "sslint: %d determinism-contract finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// vetConfig mirrors the JSON configuration cmd/go hands a unitchecker-
+// style vet tool for each package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package under the go vet protocol.
+func vetUnit(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cfg := &vetConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fatalf("parse %s: %v", cfgFile, err)
+	}
+	// The suite exports no analysis facts, but cmd/go requires the facts
+	// file to exist before it will cache the vet result.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// Facts-only pass over a dependency: nothing to analyze.
+		writeVetx()
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return
+			}
+			fatalf("%v", err)
+		}
+		files = append(files, f)
+	}
+	info := load.NewInfo()
+	tconf := typesConfig(fset, cfg)
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return
+		}
+		fatalf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	findings, err := sslint.Run(fset, files, tpkg, info, sslint.Analyzers())
+	if err != nil {
+		fatalf("%s: %v", cfg.ImportPath, err)
+	}
+	writeVetx()
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, relativize(cfg.Dir, f.String()))
+		}
+		os.Exit(2)
+	}
+}
+
+// typesConfig builds the type-checker configuration for a vet unit: the
+// gc export-data importer over cfg.PackageFile with cfg.ImportMap's
+// test-variant rewrites applied.
+func typesConfig(fset *token.FileSet, cfg *vetConfig) *types.Config {
+	return &types.Config{
+		Importer:  load.ExportImporter(fset, cfg.ImportMap, cfg.PackageFile),
+		GoVersion: cfg.GoVersion,
+	}
+}
+
+// relativize trims dir from a finding line so vet output stays readable.
+func relativize(dir, line string) string {
+	return strings.ReplaceAll(line, dir+string(filepath.Separator), "")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sslint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,167 @@
+package main_test
+
+import (
+	"bytes"
+	"maps"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"testing"
+)
+
+// binary is the sslint executable built once in TestMain and shared by
+// every test (each `go test` run is a fresh process, so a package-level
+// variable needs no synchronization).
+var binary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "sslint-e2e-*")
+	if err != nil {
+		panic(err)
+	}
+	binary = filepath.Join(dir, "sslint")
+	build := exec.Command("go", "build", "-o", binary, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		os.RemoveAll(dir)
+		panic("build sslint: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// writeModule materializes a throwaway module so the injected violation
+// cannot touch (or depend on) the real tree.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module sslintfixture\n\ngo 1.24\n"
+	for _, name := range slices.Sorted(maps.Keys(files)) {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(files[name]), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runIn executes cmd with args in dir, returning combined stdout+stderr
+// and the exit code.
+func runIn(t *testing.T, dir, cmd string, args ...string) (string, int) {
+	t.Helper()
+	c := exec.Command(cmd, args...)
+	c.Dir = dir
+	var buf bytes.Buffer
+	c.Stdout = &buf
+	c.Stderr = &buf
+	err := c.Run()
+	if err == nil {
+		return buf.String(), 0
+	}
+	exit, isExit := err.(*exec.ExitError)
+	if !isExit {
+		t.Fatalf("%s %v: %v\n%s", cmd, args, err, buf.String())
+	}
+	return buf.String(), exit.ExitCode()
+}
+
+// The injected-violation source mirrors the bug class the contract exists
+// for: a simulation package reading the wall clock.
+const violatingSim = `package netsim
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+`
+
+const cleanSim = `package netsim
+
+import "math/rand"
+
+func Draw(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func Child(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+`
+
+func TestStandaloneReportsInjectedViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{"netsim/netsim.go": violatingSim})
+	out, code := runIn(t, dir, binary, "./...")
+	if code == 0 {
+		t.Fatalf("sslint exited 0 on a module with a time.Now call:\n%s", out)
+	}
+	if !bytes.Contains([]byte(out), []byte("time.Now reads the wall clock")) ||
+		!bytes.Contains([]byte(out), []byte("[detwallclock]")) {
+		t.Errorf("output does not report the injected violation:\n%s", out)
+	}
+}
+
+func TestStandaloneCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{"netsim/netsim.go": cleanSim})
+	out, code := runIn(t, dir, binary, "./...")
+	if code != 0 {
+		t.Fatalf("sslint exited %d on a clean module:\n%s", code, out)
+	}
+}
+
+func TestStandaloneHonorsSuppression(t *testing.T) {
+	dir := writeModule(t, map[string]string{"netsim/netsim.go": `package netsim
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() //sslint:allow detwallclock e2e-sanctioned timing site
+}
+`})
+	out, code := runIn(t, dir, binary, "./...")
+	if code != 0 {
+		t.Fatalf("sslint exited %d despite the suppression:\n%s", code, out)
+	}
+}
+
+func TestStandaloneReportsStaleSuppression(t *testing.T) {
+	dir := writeModule(t, map[string]string{"netsim/netsim.go": `package netsim
+
+func Stamp() int64 {
+	return 0 //sslint:allow detwallclock nothing here reads the clock
+}
+`})
+	out, code := runIn(t, dir, binary, "./...")
+	if code == 0 {
+		t.Fatalf("sslint exited 0 with a stale suppression in place:\n%s", out)
+	}
+	if !bytes.Contains([]byte(out), []byte("unused suppression")) {
+		t.Errorf("output does not report the stale suppression:\n%s", out)
+	}
+}
+
+// TestVetToolProtocol drives the binary the way CI does: through cmd/go's
+// -vettool handshake (-V=full, -flags, then one .cfg per package).
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns several go builds")
+	}
+	dir := writeModule(t, map[string]string{"netsim/netsim.go": violatingSim})
+	out, code := runIn(t, dir, "go", "vet", "-vettool="+binary, "./...")
+	if code == 0 {
+		t.Fatalf("go vet -vettool exited 0 on a module with a time.Now call:\n%s", out)
+	}
+	if !bytes.Contains([]byte(out), []byte("time.Now reads the wall clock")) {
+		t.Errorf("vet output does not report the injected violation:\n%s", out)
+	}
+
+	clean := writeModule(t, map[string]string{"netsim/netsim.go": cleanSim})
+	out, code = runIn(t, clean, "go", "vet", "-vettool="+binary, "./...")
+	if code != 0 {
+		t.Fatalf("go vet -vettool exited %d on a clean module:\n%s", code, out)
+	}
+}

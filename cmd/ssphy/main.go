@@ -12,9 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"maps"
 	"math"
 	"math/rand"
 	"os"
+	"slices"
 
 	"repro/internal/channel"
 	"repro/internal/dsp"
@@ -129,8 +131,10 @@ func main() {
 
 func avgDB(m map[int]float64) float64 {
 	var lin float64
-	for _, v := range m {
-		lin += v
+	// Sorted-key sum: float addition in randomized map order would make
+	// the printed averages drift run to run at full precision.
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		lin += m[k]
 	}
 	if len(m) == 0 {
 		return math.Inf(-1)

@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"maps"
 	"math/rand"
+	"slices"
 
 	sourcesync "repro"
 	"repro/internal/lasthop"
@@ -49,8 +51,8 @@ func main() {
 		joint.ThroughputBps/1e6, joint.ThroughputBps/best.ThroughputBps)
 
 	fmt.Println("\nrates used by the joint transmission (SampleRate at the lead AP):")
-	for idx, n := range joint.RateHistogram {
-		if n > 0 {
+	for _, idx := range slices.Sorted(maps.Keys(joint.RateHistogram)) {
+		if n := joint.RateHistogram[idx]; n > 0 {
 			fmt.Printf("  rate %d: %d packets\n", idx, n)
 		}
 	}

@@ -13,7 +13,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"maps"
 	"math/rand"
+	"slices"
 
 	sourcesync "repro"
 	"repro/internal/channel"
@@ -85,8 +87,9 @@ func main() {
 	lead := res.SenderSNR(0)
 	joint := res.CompositeSNR()
 	var leadLin, jointLin float64
-	for k, v := range lead {
-		leadLin += v
+	// Sorted-key sums keep the printed gain byte-identical run to run.
+	for _, k := range slices.Sorted(maps.Keys(lead)) {
+		leadLin += lead[k]
 		jointLin += joint[k]
 	}
 	leadLin /= float64(len(lead))

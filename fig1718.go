@@ -63,8 +63,8 @@ func RunFig17(o Fig17Options) Fig17Result {
 			},
 			Packets: o.Packets,
 		}
-		single := c.RunBestSingleAP(rand.New(rand.NewSource(rng.Int63())))
-		joint := c.RunJoint(rand.New(rand.NewSource(rng.Int63())))
+		single := c.RunBestSingleAP(rand.New(rand.NewSource(rng.Int63()))) //sslint:allow detrand child RNG bridged from the per-trial stream; the parent draw is part of the contracted draw order
+		joint := c.RunJoint(rand.New(rand.NewSource(rng.Int63())))         //sslint:allow detrand child RNG bridged from the per-trial stream; the parent draw is part of the contracted draw order
 		return plRes{single.ThroughputBps, joint.ThroughputBps}
 	})
 
@@ -162,9 +162,9 @@ func RunFig18(o Fig18Options) Fig18Result {
 		topo := randomMeshTopology(rng, env, false)
 		meas := topo.Measure(rng, rate, o.Payload, o.Probes, 0.1)
 		sim := &exor.Sim{Topo: topo, Meas: meas, Mac: m, Rate: rate, Payload: o.Payload}
-		sp := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.SinglePath, o.Packets)
-		ex := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.ExOR, o.Packets)
-		ss := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.ExORSourceSync, o.Packets)
+		sp := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.SinglePath, o.Packets)     //sslint:allow detrand child RNG bridged from the per-trial stream; the parent draw is part of the contracted draw order
+		ex := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.ExOR, o.Packets)           //sslint:allow detrand child RNG bridged from the per-trial stream; the parent draw is part of the contracted draw order
+		ss := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.ExORSourceSync, o.Packets) //sslint:allow detrand child RNG bridged from the per-trial stream; the parent draw is part of the contracted draw order
 		return tpRes{sp.ThroughputBps, ex.ThroughputBps, ss.ThroughputBps}
 	})
 

@@ -1,0 +1,208 @@
+// Package analysistest runs determinism-contract analyzers over fixture
+// packages and checks their diagnostics against expectations embedded in
+// the fixtures, in the style of golang.org/x/tools/go/analysis/analysistest
+// (reimplemented on the standard library; the x/tools module is not a
+// dependency of this repo).
+//
+// A fixture is a directory of .go files forming one package. Lines that
+// should produce a diagnostic carry a trailing comment of the form
+//
+//	// want "regexp"
+//
+// with one quoted regexp per expected diagnostic on that line. Lines with
+// no want comment must stay silent. Fixtures are analyzed through
+// sslint.Run, so //sslint:allow directives are honored: a suppressed site
+// simply carries no want comment, and directive defects (malformed,
+// unknown check, unused) can themselves be asserted with want comments.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/sslint"
+)
+
+// expectation is one parsed want clause: a diagnostic matching re must be
+// reported at file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRE matches the quoted regexps of a want comment: double-quoted Go
+// string literals or backquoted raw literals (handy when the pattern
+// itself contains escapes).
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run analyzes the fixture package in dir with the given analyzers and
+// reports any mismatch between produced diagnostics and want comments as
+// test errors. The fixture is type-checked against real export data, so
+// it may import anything the repository's build graph already exports
+// (the standard library in practice).
+func Run(t *testing.T, dir string, analyzers ...*framework.Analyzer) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+
+	pkg, info, err := typecheck(fset, dir, files)
+	if err != nil {
+		t.Fatalf("typecheck fixture %s: %v", dir, err)
+	}
+
+	findings, err := sslint.Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers on %s: %v", dir, err)
+	}
+
+	expects := collectWants(t, fset, files)
+	for _, f := range findings {
+		if !claim(expects, f) {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation at the finding's line whose
+// regexp matches the message, returning false if none does.
+func claim(expects []*expectation, f sslint.Finding) bool {
+	base := filepath.Base(f.Pos.Filename)
+	for _, e := range expects {
+		if e.matched || e.file != base || e.line != f.Pos.Line {
+			continue
+		}
+		if e.re.MatchString(f.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseDir parses every .go file directly inside dir, comments included,
+// in sorted filename order so diagnostics come out stable.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// typecheck resolves the fixture's imports through `go list -export` and
+// type-checks the files as one package named after its package clause.
+func typecheck(fset *token.FileSet, dir string, files []*ast.File) (*types.Package, *types.Info, error) {
+	var imports []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad import in fixture: %v", err)
+			}
+			if !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	exports, err := load.DepExports(dir, imports)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The import path is the fixture's path under testdata/src, so
+	// path-sensitive analyzers (detgoroutine's internal/engine sanction)
+	// see the package identity the fixture claims.
+	pkgPath := "fixture"
+	const marker = "testdata/src/"
+	if i := strings.Index(filepath.ToSlash(dir), marker); i >= 0 {
+		pkgPath = filepath.ToSlash(dir)[i+len(marker):]
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: load.ExportImporter(fset, nil, exports)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// collectWants extracts the want expectations from every comment in the
+// fixture files. A want comment asserts diagnostics on its own line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantRE.FindAllString(text[len("want "):], -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s: want comment with no quoted regexp", pos)
+				}
+				for _, q := range quoted {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
+					}
+					expects = append(expects, &expectation{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return expects
+}

@@ -1,0 +1,64 @@
+// Package detgoroutine confines concurrency to internal/engine, the one
+// package sanctioned to spawn goroutines (its order-preserving worker pool
+// is what makes parallel trials reproducible). Everywhere else, a `go`
+// statement, a `select`, or a sync/sync.atomic primitive is a latent
+// scheduling dependency: even when the code is race-free, completion order
+// can leak into float sums, slice ordering, or RNG draw order and break
+// the byte-identical-output contract.
+//
+// The handful of deliberate caches outside engine (dsp's FFT plan table,
+// modem's constellation cache) are value-deterministic memoizations and
+// carry //sslint:allow detgoroutine directives explaining why.
+package detgoroutine
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "detgoroutine",
+	Doc: "flag go statements, select statements, and sync/sync.atomic usage outside " +
+		"internal/engine, the single sanctioned concurrency site; scheduling order " +
+		"anywhere else can leak into experiment output",
+	Run: run,
+}
+
+// sanctioned reports whether pkgPath is the concurrency-sanctioned engine
+// package (module-qualified in the real repo, bare in test fixtures).
+func sanctioned(pkgPath string) bool {
+	return pkgPath == "internal/engine" || strings.HasSuffix(pkgPath, "/internal/engine")
+}
+
+func run(pass *framework.Pass) error {
+	if sanctioned(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"go statement outside internal/engine: goroutine scheduling can leak into experiment output; route parallelism through the engine worker pool")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(),
+					"select statement outside internal/engine: channel readiness order is scheduler-dependent")
+			case *ast.SelectorExpr:
+				if id, isIdent := n.X.(*ast.Ident); isIdent {
+					if pn, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+						switch pn.Imported().Path() {
+						case "sync", "sync/atomic":
+							pass.Reportf(n.Pos(),
+								"sync primitive (%s.%s) outside internal/engine, the single sanctioned concurrency site", pn.Imported().Name(), n.Sel.Name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package detgoroutine_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detgoroutine"
+)
+
+func TestDetgoroutine(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "goroutine"), detgoroutine.Analyzer)
+}
+
+func TestEnginePackageIsSanctioned(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "internal", "engine"), detgoroutine.Analyzer)
+}

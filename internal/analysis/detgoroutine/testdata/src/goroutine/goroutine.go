@@ -1,0 +1,38 @@
+// Fixture for the detgoroutine analyzer: go statements, selects, and
+// sync/sync.atomic references outside internal/engine are flagged; a
+// directive-sanctioned memoization site is not. The companion fixture
+// under testdata/src/internal/engine proves the sanctioned package is
+// exempt wholesale.
+package goroutine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func spawns(work func()) {
+	go work() // want `go statement outside internal/engine`
+	select {} // want `select statement outside internal/engine`
+}
+
+func locks() {
+	var mu sync.Mutex // want `sync primitive \(sync\.Mutex\) outside internal/engine`
+	mu.Lock()
+	defer mu.Unlock()
+	var n atomic.Int64 // want `sync primitive \(atomic\.Int64\) outside internal/engine`
+	n.Add(1)
+}
+
+// sanctioned: a value-deterministic memoization cache, explicitly allowed.
+//
+//sslint:allow detgoroutine fixture-sanctioned value-deterministic cache
+var cache sync.Map
+
+func cached(k string, f func() int) int {
+	if v, ok := cache.Load(k); ok {
+		return v.(int)
+	}
+	v := f()
+	cache.Store(k, v)
+	return v
+}

@@ -1,0 +1,37 @@
+// Fixture: internal/engine is the sanctioned concurrency site, so the
+// detgoroutine analyzer must stay silent here despite goroutines, sync
+// primitives, and a select.
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func pool(n int, fn func(i int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func first(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

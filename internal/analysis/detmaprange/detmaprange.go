@@ -1,0 +1,300 @@
+// Package detmaprange flags range-over-map loops whose bodies are
+// iteration-order dependent — the exact bug class that broke fig15/16
+// full-precision determinism (float bin sums taken in Go's randomized map
+// order produce run-to-run ULP drift).
+//
+// A map-range body is order-dependent when it
+//
+//   - accumulates into a float variable declared outside the loop
+//     (floating-point addition is not associative, so the sum depends on
+//     visit order),
+//   - appends non-key values to a slice declared outside the loop (the
+//     result ordering leaks map order), or
+//   - prints or records test output (fmt.Print*/Fprint*, testing.T
+//     helpers, println).
+//
+// The sanctioned fix is the sorted-keys idiom: collect the keys, sort,
+// then range over the sorted slice. The key-collection loop itself —
+// a body that only appends the key variable — is recognized and exempt.
+package detmaprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "detmaprange",
+	Doc: "flag range-over-map loops that accumulate floats, append results, or " +
+		"print: map iteration order is randomized, so such bodies break " +
+		"byte-identical output; iterate sorted keys instead",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, isRange := n.(*ast.RangeStmt)
+			if !isRange || !isMapRange(pass.TypesInfo, rs) {
+				return true
+			}
+			if isKeyCollection(pass.TypesInfo, rs) {
+				return true
+			}
+			if kind := orderDependentBody(pass, rs); kind != "" {
+				pass.Reportf(rs.Pos(),
+					"range over map %s %s: map order is randomized and the body is order-dependent; iterate sorted keys instead (the fig15/16 bug class)",
+					exprLabel(rs.X), kind)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMapRange reports whether rs iterates a map, either directly or via
+// the maps.Keys/Values/All iterators (same randomized order, so the same
+// bug class — ranging slices.Sorted(maps.Keys(m)) is the sanctioned form).
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	if call, isCall := ast.Unparen(rs.X).(*ast.CallExpr); isCall {
+		if pkg, name, resolved := framework.CalleePkgFunc(info, call); resolved && pkg == "maps" {
+			switch name {
+			case "Keys", "Values", "All":
+				return true
+			}
+		}
+	}
+	tv, found := info.Types[rs.X]
+	if !found || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isKeyCollection recognizes the first half of the sorted-keys idiom: a
+// body that is exactly one `keys = append(keys, k)` of the key variable
+// (no value variable consumed). That loop is order-insensitive once the
+// slice is sorted, which the idiom does immediately after.
+func isKeyCollection(info *types.Info, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, isAssign := rs.Body.List[0].(*ast.AssignStmt)
+	if !isAssign || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, isCall := asg.Rhs[0].(*ast.CallExpr)
+	if !isCall || len(call.Args) != 2 {
+		return false
+	}
+	fn, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent {
+		return false
+	}
+	if _, isBuiltin := info.Uses[fn].(*types.Builtin); !isBuiltin || fn.Name != "append" {
+		return false
+	}
+	keyIdent, keyIsIdent := rs.Key.(*ast.Ident)
+	argIdent, argIsIdent := ast.Unparen(call.Args[1]).(*ast.Ident)
+	return keyIsIdent && argIsIdent &&
+		info.Defs[keyIdent] != nil && info.Uses[argIdent] == info.Defs[keyIdent]
+}
+
+// orderDependentBody scans the loop body (including nested function
+// literals, which run per-iteration) for order-dependent effects and
+// returns a short description of the first one found, or "".
+func orderDependentBody(pass *framework.Pass, rs *ast.RangeStmt) string {
+	info := pass.TypesInfo
+	kind := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if k := orderDependentAssign(info, rs, n); k != "" {
+				kind = k
+			}
+		case *ast.CallExpr:
+			if k := printLikeCall(info, n); k != "" {
+				kind = k
+			}
+		}
+		return kind == ""
+	})
+	return kind
+}
+
+// orderDependentAssign classifies float accumulation into, or appends
+// onto, variables that outlive the loop body.
+func orderDependentAssign(info *types.Info, rs *ast.RangeStmt, asg *ast.AssignStmt) string {
+	switch asg.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(asg.Lhs) == 1 && isFloat(info, asg.Lhs[0]) &&
+			!declaredWithin(info, asg.Lhs[0], rs.Body) && !perKeySlot(info, rs, asg.Lhs[0]) {
+			return "accumulates a float (non-associative sum)"
+		}
+	case token.ASSIGN:
+		for i, lhs := range asg.Lhs {
+			if i >= len(asg.Rhs) {
+				break
+			}
+			call, isCall := ast.Unparen(asg.Rhs[i]).(*ast.CallExpr)
+			if !isCall {
+				// x = x + v float accumulation spelled out longhand.
+				if bin, isBin := ast.Unparen(asg.Rhs[i]).(*ast.BinaryExpr); isBin &&
+					isFloat(info, lhs) && !declaredWithin(info, lhs, rs.Body) &&
+					mentionsSameVar(info, bin, lhs) {
+					return "accumulates a float (non-associative sum)"
+				}
+				continue
+			}
+			fn, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			if _, isBuiltin := info.Uses[fn].(*types.Builtin); isBuiltin && fn.Name == "append" &&
+				!declaredWithin(info, lhs, rs.Body) {
+				return "appends to a slice that outlives the loop (result order leaks map order)"
+			}
+		}
+	}
+	return ""
+}
+
+// perKeySlot reports whether lhs is an index expression whose index uses a
+// loop variable (out[k] += v): each iteration then touches its own slot,
+// so accumulation order per slot is fixed and the loop is deterministic.
+func perKeySlot(info *types.Info, rs *ast.RangeStmt, lhs ast.Expr) bool {
+	idx, isIndex := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !isIndex {
+		return false
+	}
+	loopVars := map[types.Object]bool{}
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if id, isIdent := v.(*ast.Ident); isIdent && info.Defs[id] != nil {
+			loopVars[info.Defs[id]] = true
+		}
+	}
+	uses := false
+	ast.Inspect(idx.Index, func(n ast.Node) bool {
+		if id, isIdent := n.(*ast.Ident); isIdent && loopVars[info.Uses[id]] {
+			uses = true
+		}
+		return !uses
+	})
+	return uses
+}
+
+// printLikeCall reports calls that emit output: fmt printing, the builtin
+// print/println pair, and testing.T/B/F log-and-fail helpers.
+func printLikeCall(info *types.Info, call *ast.CallExpr) string {
+	if pkg, name, resolved := framework.CalleePkgFunc(info, call); resolved && pkg == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "prints (output order leaks map order)"
+		}
+	}
+	if id, isIdent := ast.Unparen(call.Fun).(*ast.Ident); isIdent {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && (b.Name() == "print" || b.Name() == "println") {
+			return "prints (output order leaks map order)"
+		}
+	}
+	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+		if recvIsTesting(info, sel) {
+			switch sel.Sel.Name {
+			case "Log", "Logf", "Error", "Errorf", "Fatal", "Fatalf", "Skip", "Skipf", "Run":
+				return "drives testing output/subtests (ordering leaks map order)"
+			}
+		}
+	}
+	return ""
+}
+
+// recvIsTesting reports whether sel's receiver is a *testing.T/B/F.
+func recvIsTesting(info *types.Info, sel *ast.SelectorExpr) bool {
+	tv, found := info.Types[sel.X]
+	if !found || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "testing"
+}
+
+// isFloat reports whether expr has floating-point (or complex) type.
+func isFloat(info *types.Info, expr ast.Expr) bool {
+	tv, found := info.Types[expr]
+	if !found || tv.Type == nil {
+		return false
+	}
+	basic, isBasic := tv.Type.Underlying().(*types.Basic)
+	return isBasic && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// declaredWithin reports whether expr is an identifier whose declaration
+// sits inside node (a body-local variable, whose per-iteration value
+// cannot leak iteration order out of the loop).
+func declaredWithin(info *types.Info, expr ast.Expr, node ast.Node) bool {
+	id, isIdent := ast.Unparen(expr).(*ast.Ident)
+	if !isIdent {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// mentionsSameVar reports whether bin references the same object as lhs —
+// the x = x + v accumulation shape.
+func mentionsSameVar(info *types.Info, bin *ast.BinaryExpr, lhs ast.Expr) bool {
+	lhsID, isIdent := ast.Unparen(lhs).(*ast.Ident)
+	if !isIdent {
+		return false
+	}
+	target := info.Uses[lhsID]
+	if target == nil {
+		target = info.Defs[lhsID]
+	}
+	if target == nil {
+		return false
+	}
+	same := false
+	ast.Inspect(bin, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == target {
+			same = true
+		}
+		return !same
+	})
+	return same
+}
+
+// exprLabel renders a short label for the ranged expression.
+func exprLabel(expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if id, isIdent := e.X.(*ast.Ident); isIdent {
+			return id.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	}
+	return "expression"
+}

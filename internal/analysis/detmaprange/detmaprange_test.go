@@ -1,0 +1,13 @@
+package detmaprange_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detmaprange"
+)
+
+func TestDetmaprange(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "maprange"), detmaprange.Analyzer)
+}

@@ -1,0 +1,96 @@
+// Fixture for the detmaprange analyzer: order-dependent map-range bodies
+// (float accumulation, appends, printing) are flagged; the sorted-keys
+// idiom, per-key-slot accumulation, and associative integer sums are not.
+package maprange
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"sort"
+)
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates a float \(non-associative sum\)`
+		sum += v
+	}
+	for _, v := range m { // want `accumulates a float \(non-associative sum\)`
+		sum = sum + v
+	}
+	return sum
+}
+
+func appendsValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `appends to a slice that outlives the loop`
+		out = append(out, v)
+	}
+	return out
+}
+
+func prints(m map[string]int) {
+	for k := range m { // want `prints \(output order leaks map order\)`
+		fmt.Println(k)
+	}
+}
+
+// maps.Keys hands out the same randomized order as a direct range, so the
+// iterator form of the bug is the same bug.
+func iterForm(m map[string]float64) float64 {
+	var sum float64
+	for k := range maps.Keys(m) { // want `accumulates a float \(non-associative sum\)`
+		sum += m[k]
+	}
+	return sum
+}
+
+// clean: the two-step sorted-keys idiom. The key-collection loop is
+// recognized and exempt; the second loop ranges a slice, not a map.
+func sortedIdiom(m map[string]float64) float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// clean: the one-step stdlib spelling of the same idiom.
+func sortedStdlib(m map[string]float64) float64 {
+	var sum float64
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		sum += m[k]
+	}
+	return sum
+}
+
+// clean: per-key-slot accumulation touches an independent slot per
+// iteration, so visit order cannot change any slot's result.
+func perSlot(m map[string]float64, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// clean: integer addition is associative, so visit order is invisible.
+func intSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sanctioned: an explicitly allowed order-dependent loop stays silent.
+func sanctioned(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { //sslint:allow detmaprange fixture-sanctioned loop
+		sum += v
+	}
+	return sum
+}

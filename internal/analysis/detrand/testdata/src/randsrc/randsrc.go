@@ -1,0 +1,39 @@
+// Fixture for the detrand analyzer: process-global draws, reseeding, and
+// nondeterministically seeded sources are flagged; plumbed seeds and
+// sanctioned parent-stream bridges are not.
+package randsrc
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func globals() {
+	rand.Seed(42)                      // want `rand\.Seed reseeds the process-wide source`
+	_ = rand.Int()                     // want `rand\.Int draws from the process-wide source`
+	_ = rand.Intn(10)                  // want `rand\.Intn draws from the process-wide source`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the process-wide source`
+	_ = randv2.IntN(10)                // want `rand\.IntN draws from the process-wide source`
+	_ = randv2.Uint64()                // want `rand\.Uint64 draws from the process-wide source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-wide source`
+}
+
+func badSeeds(helper func() int64) {
+	_ = rand.NewSource(time.Now().UnixNano()) // want `rand\.NewSource seed derives from time\.Now`
+	_ = rand.New(rand.NewSource(helper()))    // want `rand\.NewSource seed contains a call \(helper\)`
+}
+
+// clean: seeds plumbed as constants, parameters, or pure conversions.
+func clean(seed int64, part int) *rand.Rand {
+	_ = rand.New(rand.NewSource(7))
+	_ = rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	_ = randv2.New(randv2.NewPCG(uint64(seed), uint64(part)))
+	return rand.New(rand.NewSource(int64(part)))
+}
+
+// sanctioned: a child stream bridged from a parameter-passed parent RNG,
+// with the draw accounted for in the experiment's contracted draw order.
+func bridge(rng *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(rng.Int63())) //sslint:allow detrand child stream bridged from the parent draw order
+}

@@ -1,0 +1,57 @@
+// Package detwallclock flags wall-clock reads inside simulation code.
+//
+// The simulator's determinism contract (docs/ARCHITECTURE.md) requires
+// every experiment to produce byte-identical output at any -workers count
+// and on any machine; time must therefore come from the virtual clock that
+// netsim advances event by event, never from the host. The only sanctioned
+// wall-clock sites are the stderr timing reports in cmd/ssbench and the
+// serial-baseline measurement in bench_test.go, which carry explicit
+// //sslint:allow detwallclock directives.
+package detwallclock
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/framework"
+)
+
+// clockFuncs are the time-package functions that read or depend on the
+// host clock. Pure constructors/parsers (time.Duration, time.Unix,
+// time.Parse) are fine: they involve no clock read.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+var Analyzer = &framework.Analyzer{
+	Name: "detwallclock",
+	Doc: "flag wall-clock reads (time.Now, time.Since, time.Sleep, ...): simulation " +
+		"code must take time from the engine's virtual clock so output is " +
+		"byte-identical at any -workers count",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			pkg, name, resolved := framework.CalleePkgFunc(pass.TypesInfo, call)
+			if resolved && pkg == "time" && clockFuncs[name] {
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock; simulation code must use the virtual clock (engine/netsim) so output is reproducible", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

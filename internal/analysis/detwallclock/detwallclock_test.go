@@ -1,0 +1,13 @@
+package detwallclock_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detwallclock"
+)
+
+func TestDetwallclock(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "wallclock"), detwallclock.Analyzer)
+}

@@ -1,0 +1,34 @@
+// Fixture for the detwallclock analyzer: wall-clock reads are flagged,
+// pure time.Duration/time.Time arithmetic is not, and an //sslint:allow
+// directive silences a sanctioned site.
+package wallclock
+
+import "time"
+
+func reads() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	d := time.Since(start)       // want `time\.Since reads the wall clock`
+	d += time.Until(start)       // want `time\.Until reads the wall clock`
+	t := time.NewTimer(d)        // want `time\.NewTimer reads the wall clock`
+	k := time.NewTicker(d)       // want `time\.NewTicker reads the wall clock`
+	<-time.After(d)              // want `time\.After reads the wall clock`
+	time.AfterFunc(d, func() {}) // want `time\.AfterFunc reads the wall clock`
+	t.Stop()
+	k.Stop()
+	return d
+}
+
+// clean: constructing and transforming times without touching the clock.
+func clean() time.Time {
+	epoch := time.Unix(0, 0)
+	later := epoch.Add(3 * time.Second)
+	_ = later.Sub(epoch)
+	_ = time.Date(2024, time.January, 1, 0, 0, 0, 0, time.UTC)
+	return later
+}
+
+// sanctioned: an explicitly allowed timing site stays silent.
+func sanctioned() time.Time {
+	return time.Now() //sslint:allow detwallclock fixture-sanctioned timing site
+}

@@ -1,0 +1,170 @@
+// Package directive parses sslint suppression comments. A directive has
+// the form
+//
+//	//sslint:allow <check> <reason...>
+//
+// and sanctions exactly one check on exactly one line: the line the
+// comment trails, or — when the comment stands on a line of its own — the
+// line immediately below it. The reason is mandatory: the allowlist lives
+// in the code, next to the sanctioned site, with its justification.
+//
+// The parser is deliberately strict. Malformed directives (missing check,
+// missing reason, unknown verb), unknown check names, and directives that
+// never matched a diagnostic ("unused suppressions") are all reported as
+// problems, so a stale or typo'd allow can't silently widen the allowlist.
+package directive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Prefix is the comment marker every sslint directive starts with.
+const Prefix = "//sslint:"
+
+// Directive is one parsed, well-formed suppression.
+type Directive struct {
+	Check  string // analyzer name being suppressed
+	Reason string // mandatory free-text justification
+	Pos    token.Position
+	Target int // line whose diagnostics this directive suppresses
+	used   bool
+}
+
+// Problem is a defect in the directive text itself (malformed, unknown
+// check, unused). Problems are reported under the pseudo-check "sslint".
+type Problem struct {
+	Pos     token.Position
+	Message string
+}
+
+// Set holds every directive found in a group of files plus the problems
+// discovered while parsing them.
+type Set struct {
+	directives []*Directive
+	problems   []Problem
+}
+
+// Collect parses all sslint directives in files. known is the set of valid
+// check names (the full suite, independent of which analyzers run —
+// otherwise a partial run would misreport valid names as unknown).
+func Collect(fset *token.FileSet, files []*ast.File, known map[string]bool) *Set {
+	s := &Set{}
+	for _, f := range files {
+		codeLines := codeLines(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s.parse(fset, c, codeLines, known)
+			}
+		}
+	}
+	return s
+}
+
+// codeLines returns the set of lines in f that contain non-comment code,
+// so a directive can tell whether it trails a statement or stands alone.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		if n.Pos().IsValid() {
+			lines[fset.Position(n.Pos()).Line] = true
+		}
+		return true
+	})
+	return lines
+}
+
+func (s *Set) parse(fset *token.FileSet, c *ast.Comment, codeLines map[int]bool, known map[string]bool) {
+	if !strings.HasPrefix(c.Text, Prefix) {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	rest := strings.TrimPrefix(c.Text, Prefix)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || !strings.HasPrefix(rest, "allow") {
+		s.problems = append(s.problems, Problem{pos,
+			fmt.Sprintf("malformed sslint directive %q: want //sslint:allow <check> <reason>", c.Text)})
+		return
+	}
+	if fields[0] != "allow" {
+		s.problems = append(s.problems, Problem{pos,
+			fmt.Sprintf("unknown sslint directive verb %q: only \"allow\" is supported", fields[0])})
+		return
+	}
+	if len(fields) < 2 {
+		s.problems = append(s.problems, Problem{pos,
+			"sslint:allow is missing a check name: want //sslint:allow <check> <reason>"})
+		return
+	}
+	check := fields[1]
+	if !known[check] {
+		names := make([]string, 0, len(known))
+		for n := range known {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		s.problems = append(s.problems, Problem{pos,
+			fmt.Sprintf("sslint:allow names unknown check %q (known checks: %s)", check, strings.Join(names, ", "))})
+		return
+	}
+	if len(fields) < 3 {
+		s.problems = append(s.problems, Problem{pos,
+			fmt.Sprintf("sslint:allow %s has no reason: every suppression must say why the site is sanctioned", check)})
+		return
+	}
+	target := pos.Line
+	if !codeLines[pos.Line] {
+		// Standalone comment: it sanctions the line below it.
+		target = pos.Line + 1
+	}
+	s.directives = append(s.directives, &Directive{
+		Check:  check,
+		Reason: strings.Join(fields[2:], " "),
+		Pos:    pos,
+		Target: target,
+	})
+}
+
+// Suppresses reports whether a diagnostic of the given check at pos is
+// sanctioned, marking any matching directive as used.
+func (s *Set) Suppresses(check string, pos token.Position) bool {
+	hit := false
+	for _, d := range s.directives {
+		if d.Check == check && d.Pos.Filename == pos.Filename && d.Target == pos.Line {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// Unused returns the directives for checks in ran that never suppressed a
+// diagnostic. Restricting to the checks that actually ran keeps a partial
+// run (e.g. a single-analyzer test) from misreporting other checks'
+// directives as stale.
+func (s *Set) Unused(ran map[string]bool) []*Directive {
+	var out []*Directive
+	for _, d := range s.directives {
+		if !d.used && ran[d.Check] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Problems returns the malformed-directive reports collected at parse time.
+func (s *Set) Problems() []Problem {
+	return s.problems
+}
+
+// Directives returns every well-formed directive (used or not), for tests.
+func (s *Set) Directives() []*Directive {
+	return s.directives
+}

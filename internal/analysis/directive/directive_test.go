@@ -1,0 +1,166 @@
+package directive_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/directive"
+)
+
+var known = map[string]bool{"detwallclock": true, "detrand": true}
+
+// collect parses src as a single file and gathers its directives.
+func collect(t *testing.T, src string) (*token.FileSet, *directive.Set) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, directive.Collect(fset, []*ast.File{f}, known)
+}
+
+func position(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line}
+}
+
+func TestTrailingDirectiveTargetsOwnLine(t *testing.T) {
+	_, set := collect(t, `package p
+
+func f() {
+	g() //sslint:allow detwallclock sanctioned timing site
+}
+
+func g() {}
+`)
+	if problems := set.Problems(); len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	ds := set.Directives()
+	if len(ds) != 1 {
+		t.Fatalf("got %d directives, want 1", len(ds))
+	}
+	d := ds[0]
+	if d.Check != "detwallclock" || d.Reason != "sanctioned timing site" || d.Target != 4 {
+		t.Errorf("parsed directive = %+v; want check detwallclock, reason %q, target line 4",
+			d, "sanctioned timing site")
+	}
+	if !set.Suppresses("detwallclock", position("x.go", 4)) {
+		t.Error("directive does not suppress its own line")
+	}
+	if set.Suppresses("detwallclock", position("x.go", 5)) {
+		t.Error("directive leaked onto the next line")
+	}
+	if set.Suppresses("detrand", position("x.go", 4)) {
+		t.Error("directive suppressed a different check")
+	}
+}
+
+func TestStandaloneDirectiveTargetsNextLine(t *testing.T) {
+	_, set := collect(t, `package p
+
+//sslint:allow detrand sanctioned bridge below
+var x = seed()
+
+func seed() int64 { return 1 }
+`)
+	ds := set.Directives()
+	if len(ds) != 1 {
+		t.Fatalf("got %d directives, want 1", len(ds))
+	}
+	if ds[0].Target != 4 {
+		t.Errorf("standalone directive targets line %d, want 4 (the line below)", ds[0].Target)
+	}
+	if set.Suppresses("detrand", position("x.go", 3)) {
+		t.Error("standalone directive must not suppress its own (code-free) line")
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	cases := []struct {
+		name    string
+		comment string
+		wantSub string
+	}{
+		{"empty", "//sslint:", "malformed sslint directive"},
+		{"unknown verb", "//sslint:deny detrand reason", "malformed sslint directive"},
+		{"verb prefix only", "//sslint:allowing detrand reason", `unknown sslint directive verb "allowing"`},
+		{"missing check", "//sslint:allow", "missing a check name"},
+		{"unknown check", "//sslint:allow detclock reason", `unknown check "detclock"`},
+		{"missing reason", "//sslint:allow detrand", "has no reason"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, set := collect(t, "package p\n\n"+tc.comment+"\nvar x int\n")
+			if len(set.Directives()) != 0 {
+				t.Fatalf("malformed comment parsed as a directive: %+v", set.Directives()[0])
+			}
+			problems := set.Problems()
+			if len(problems) != 1 {
+				t.Fatalf("got %d problems, want 1: %v", len(problems), problems)
+			}
+			if !strings.Contains(problems[0].Message, tc.wantSub) {
+				t.Errorf("problem %q does not mention %q", problems[0].Message, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestUnknownCheckListsKnownNames(t *testing.T) {
+	_, set := collect(t, "package p\n\n//sslint:allow nosuch reason\nvar x int\n")
+	problems := set.Problems()
+	if len(problems) != 1 {
+		t.Fatalf("got %d problems, want 1", len(problems))
+	}
+	// The sorted list of valid names turns a typo report into a fix.
+	if !strings.Contains(problems[0].Message, "detrand, detwallclock") {
+		t.Errorf("problem %q does not list the known checks in sorted order", problems[0].Message)
+	}
+}
+
+func TestUnusedDirectivesReported(t *testing.T) {
+	_, set := collect(t, `package p
+
+var a = 1 //sslint:allow detwallclock stale: nothing on this line trips the check
+var b = 2 //sslint:allow detrand this one will be consumed
+`)
+	if !set.Suppresses("detrand", position("x.go", 4)) {
+		t.Fatal("line-4 directive did not suppress")
+	}
+	ran := map[string]bool{"detwallclock": true, "detrand": true}
+	unused := set.Unused(ran)
+	if len(unused) != 1 {
+		t.Fatalf("got %d unused directives, want 1: %+v", len(unused), unused)
+	}
+	if unused[0].Check != "detwallclock" || unused[0].Pos.Line != 3 {
+		t.Errorf("unused = %+v; want the detwallclock directive on line 3", unused[0])
+	}
+}
+
+func TestUnusedRestrictedToRanChecks(t *testing.T) {
+	_, set := collect(t, `package p
+
+var a = 1 //sslint:allow detrand sanctioned for an analyzer that did not run
+`)
+	if unused := set.Unused(map[string]bool{"detwallclock": true}); len(unused) != 0 {
+		t.Errorf("partial run misreported another check's directive as unused: %+v", unused)
+	}
+	if unused := set.Unused(map[string]bool{"detrand": true}); len(unused) != 1 {
+		t.Errorf("full run missed the stale directive: %+v", unused)
+	}
+}
+
+func TestNonDirectiveCommentsIgnored(t *testing.T) {
+	_, set := collect(t, `package p
+
+// sslint:allow detrand a space after the slashes is not a directive
+var a = 1 // plain trailing comment
+`)
+	if len(set.Directives()) != 0 || len(set.Problems()) != 0 {
+		t.Errorf("near-miss comments should be ignored: directives=%v problems=%v",
+			set.Directives(), set.Problems())
+	}
+}

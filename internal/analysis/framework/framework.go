@@ -1,0 +1,84 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that the sslint suite needs. The
+// container this repo builds in has no module proxy access, so the real
+// x/tools package cannot be vendored; this package keeps the analyzer code
+// shaped exactly like a standard go/analysis pass (Analyzer struct, Pass
+// with Fset/Files/Pkg/TypesInfo, Reportf) so a future migration to x/tools
+// is a mechanical import swap.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name (also the //sslint:allow
+// suppression key), a one-paragraph doc string, and a Run function invoked
+// once per type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer. Report is
+// wired by the driver; analyzers call Reportf.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position. Check is filled by the driver
+// from the reporting analyzer's name.
+type Diagnostic struct {
+	Pos     token.Pos
+	Check   string
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// CalleePkgFunc resolves a call of the form pkg.Fn(...) where pkg is an
+// imported package name, returning the package path and function name.
+// Method calls, conversions, builtins, and locally-defined functions
+// return ok=false.
+func CalleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// IsConversionOrBuiltin reports whether a CallExpr is a type conversion
+// (int64(x)) or a builtin call (len(x), min(a, b)) rather than a function
+// call — both are pure and order-independent.
+func IsConversionOrBuiltin(info *types.Info, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if tv, found := info.Types[fun]; found && tv.IsType() {
+		return true
+	}
+	if id, isIdent := fun.(*ast.Ident); isIdent {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+// Package sslint assembles the determinism-contract analyzers into one
+// suite: it runs the analyzers over a type-checked package, applies the
+// //sslint:allow suppression directives, and folds directive defects
+// (malformed, unknown check, unused) into the findings under the
+// pseudo-check "sslint". docs/ARCHITECTURE.md maps each analyzer to the
+// invariant it guards.
+package sslint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/detgoroutine"
+	"repro/internal/analysis/detmaprange"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/detwallclock"
+	"repro/internal/analysis/directive"
+	"repro/internal/analysis/framework"
+)
+
+// DirectiveCheck is the pseudo-check name under which defects in the
+// suppression directives themselves are reported.
+const DirectiveCheck = "sslint"
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		detwallclock.Analyzer,
+		detrand.Analyzer,
+		detmaprange.Analyzer,
+		detgoroutine.Analyzer,
+	}
+}
+
+// KnownChecks is the set of valid //sslint:allow check names — always the
+// full suite, so a partial run never misreports a valid name as unknown.
+func KnownChecks() map[string]bool {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// Finding is one post-suppression diagnostic, positioned and attributed.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Check)
+}
+
+// Run executes the given analyzers over one type-checked package and
+// returns the surviving findings: analyzer diagnostics not sanctioned by
+// an //sslint:allow directive, plus directive problems and unused
+// suppressions. Findings come back sorted by position for deterministic
+// output (this suite practices what it preaches).
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*framework.Analyzer) ([]Finding, error) {
+	dirs := directive.Collect(fset, files, KnownChecks())
+	ran := map[string]bool{}
+	var findings []Finding
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		pass := &framework.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d framework.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				if dirs.Suppresses(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Pos: pos, Check: a.Name, Message: d.Message})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	for _, p := range dirs.Problems() {
+		findings = append(findings, Finding{Pos: p.Pos, Check: DirectiveCheck, Message: p.Message})
+	}
+	for _, d := range dirs.Unused(ran) {
+		findings = append(findings, Finding{Pos: d.Pos, Check: DirectiveCheck,
+			Message: fmt.Sprintf("unused suppression: no %s diagnostic on the sanctioned line (stale allow widens the allowlist silently — delete it)", d.Check)})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

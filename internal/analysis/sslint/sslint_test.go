@@ -1,0 +1,160 @@
+package sslint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/sslint"
+)
+
+// check type-checks import-free sources (filename -> src) and runs the
+// suite over them. detmaprange needs no imports, which keeps these tests
+// free of export-data plumbing.
+func check(t *testing.T, sources map[string]string) []sslint.Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	var names []string
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, sources[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := load.NewInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := sslint.Run(fset, files, pkg, info, sslint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+const orderDependent = `package p
+
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`
+
+func TestFindingSurvivesWithoutDirective(t *testing.T) {
+	findings := check(t, map[string]string{"a.go": orderDependent})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Check != "detmaprange" || f.Pos.Line != 5 {
+		t.Errorf("finding = %v; want a detmaprange hit on line 5", f)
+	}
+	if !strings.Contains(f.String(), "[detmaprange]") {
+		t.Errorf("String() = %q; want the check name in brackets", f.String())
+	}
+}
+
+func TestDirectiveSuppressesFinding(t *testing.T) {
+	findings := check(t, map[string]string{"a.go": `package p
+
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { //sslint:allow detmaprange sanctioned in this test
+		s += v
+	}
+	return s
+}
+`})
+	if len(findings) != 0 {
+		t.Fatalf("suppressed finding leaked: %v", findings)
+	}
+}
+
+func TestUnusedDirectiveReported(t *testing.T) {
+	findings := check(t, map[string]string{"a.go": `package p
+
+var x = 1 //sslint:allow detmaprange nothing here trips the check
+`})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Check != sslint.DirectiveCheck || !strings.Contains(f.Message, "unused suppression") {
+		t.Errorf("finding = %v; want an unused-suppression report under %q", f, sslint.DirectiveCheck)
+	}
+}
+
+func TestDirectiveProblemsFoldedIn(t *testing.T) {
+	findings := check(t, map[string]string{"a.go": `package p
+
+var x = 1 //sslint:allow detclock not a real check name
+`})
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Check != sslint.DirectiveCheck || !strings.Contains(f.Message, `unknown check "detclock"`) {
+		t.Errorf("finding = %v; want an unknown-check report under %q", f, sslint.DirectiveCheck)
+	}
+}
+
+func TestFindingsSortedByPosition(t *testing.T) {
+	// Two files, hits in reverse lexical order of discovery, plus two hits
+	// at different lines in the same file.
+	findings := check(t, map[string]string{
+		"b.go": orderDependent,
+		"a.go": `package p
+
+func sum2(m map[string]float64) (float64, float64) {
+	var s, u float64
+	for _, v := range m {
+		s += v
+	}
+	for _, v := range m {
+		u += v
+	}
+	return s, u
+}
+`,
+	})
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3: %v", len(findings), findings)
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("findings out of order: %v before %v", a, b)
+		}
+	}
+	if findings[0].Pos.Filename != "a.go" || findings[2].Pos.Filename != "b.go" {
+		t.Errorf("file order wrong: %v", findings)
+	}
+}
+
+func TestKnownChecksCoversSuite(t *testing.T) {
+	known := sslint.KnownChecks()
+	for _, a := range sslint.Analyzers() {
+		if !known[a.Name] {
+			t.Errorf("analyzer %q missing from KnownChecks", a.Name)
+		}
+	}
+	if len(known) != len(sslint.Analyzers()) {
+		t.Errorf("KnownChecks has %d entries, want %d", len(known), len(sslint.Analyzers()))
+	}
+}

@@ -20,7 +20,7 @@ type plan struct {
 }
 
 var (
-	planMu    sync.Mutex
+	planMu    sync.Mutex //sslint:allow detgoroutine guards the FFT plan memo; a plan is a pure function of n, so lock order cannot reach output
 	planCache = map[int]*plan{}
 )
 

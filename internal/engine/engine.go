@@ -76,7 +76,7 @@ func TrialSeed(seed int64, point, trial int) int64 {
 
 // TrialRNG returns a fresh rand.Rand for one trial, seeded by TrialSeed.
 func TrialRNG(seed int64, point, trial int) *rand.Rand {
-	return rand.New(rand.NewSource(TrialSeed(seed, point, trial)))
+	return rand.New(rand.NewSource(TrialSeed(seed, point, trial))) //sslint:allow detrand TrialSeed is the sanctioned derivation: a pure splitmix64 function of (seed, point, trial)
 }
 
 // PointRNG returns a rand.Rand scoped to a whole operating point (trial

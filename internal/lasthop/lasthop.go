@@ -76,7 +76,7 @@ func (c Config) RunSingleAP(rng *rand.Rand, ap int) Result {
 func (c Config) RunBestSingleAP(rng *rand.Rand) Result {
 	var best Result
 	for ap := range c.APLinks {
-		r := c.RunSingleAP(rand.New(rand.NewSource(rng.Int63())), ap)
+		r := c.RunSingleAP(rand.New(rand.NewSource(rng.Int63())), ap) //sslint:allow detrand per-AP child RNG bridged from the caller's stream; one parent draw per AP is part of the contracted draw order
 		if r.ThroughputBps > best.ThroughputBps {
 			best = r
 		}

@@ -1,7 +1,9 @@
 package modem
 
 import (
+	"maps"
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -312,7 +314,8 @@ func TestRateTable(t *testing.T) {
 		48: {QAM64, Rate23},
 		54: {QAM64, Rate34},
 	}
-	for mbps, wr := range want {
+	for _, mbps := range slices.Sorted(maps.Keys(want)) {
+		wr := want[mbps]
 		r, err := RateByMbps(mbps)
 		if err != nil {
 			t.Fatalf("%d Mbps: %v", mbps, err)

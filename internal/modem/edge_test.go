@@ -1,7 +1,9 @@
 package modem
 
 import (
+	"maps"
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -84,7 +86,7 @@ func TestReceiveTruncatedStream(t *testing.T) {
 }
 
 func TestConfigPanicsOnBadParameters(t *testing.T) {
-	for name, build := range map[string]func(){
+	cases := map[string]func(){
 		"non-power-of-two NFFT": func() {
 			c := &Config{SampleRateHz: 1, NFFT: 48, CPLen: 4, UsedHalf: 10}
 			c.build()
@@ -97,14 +99,18 @@ func TestConfigPanicsOnBadParameters(t *testing.T) {
 			c := &Config{SampleRateHz: 1, NFFT: 64, CPLen: 4, UsedHalf: 10, Pilots: []int{20}}
 			c.build()
 		},
-	} {
+	}
+	// Sorted-key iteration keeps the case order (and any failure output)
+	// deterministic; ranging the map directly would run them in randomized
+	// order.
+	for _, name := range slices.Sorted(maps.Keys(cases)) {
 		func() {
 			defer func() {
 				if recover() == nil {
 					t.Fatalf("%s: expected panic", name)
 				}
 			}()
-			build()
+			cases[name]()
 		}()
 	}
 }

@@ -2,6 +2,8 @@ package modem
 
 import (
 	"errors"
+	"maps"
+	"slices"
 
 	"repro/internal/dsp"
 )
@@ -151,14 +153,17 @@ func MeasureSubcarrierSNR(cfg *Config, x []complex128, preambleStart int) map[in
 	return out
 }
 
-// AverageSNRdB reduces a per-subcarrier SNR map to its average in dB.
+// AverageSNRdB reduces a per-subcarrier SNR map to its average in dB. Bins
+// are summed in sorted key order: float addition is not associative, so
+// summing in randomized map order would leak run-to-run ULP noise into
+// every SNR average downstream.
 func AverageSNRdB(snr map[int]float64) float64 {
 	if len(snr) == 0 {
 		return dsp.DB(0)
 	}
 	var lin float64
-	for _, v := range snr {
-		lin += v
+	for _, k := range slices.Sorted(maps.Keys(snr)) {
+		lin += snr[k]
 	}
 	return dsp.DB(lin / float64(len(snr)))
 }

@@ -17,6 +17,7 @@ type constPoint struct {
 	bits []byte
 }
 
+//sslint:allow detgoroutine constellation memo; the table is a pure function of the modulation, so cache timing cannot reach output
 var constCache sync.Map // Modulation -> []constPoint
 
 // points enumerates the constellation of m with bit labels.

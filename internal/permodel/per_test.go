@@ -1,8 +1,10 @@
 package permodel
 
 import (
+	"maps"
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -47,7 +49,8 @@ func TestCodedBERImprovesOnUncoded(t *testing.T) {
 		modem.Rate23: 3e-3,
 		modem.Rate34: 1e-3,
 	}
-	for code, p := range cases {
+	for _, code := range slices.Sorted(maps.Keys(cases)) {
+		p := cases[code]
 		c := CodedBitErrorBound(p, code)
 		if c >= p/5 {
 			t.Fatalf("code %v at p=%g: coded %g, want clear improvement", code, p, c)

@@ -1,7 +1,9 @@
 package phy
 
 import (
+	"maps"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"repro/internal/modem"
@@ -91,8 +93,8 @@ func TestJointFourSenders(t *testing.T) {
 	lead := res.SenderSNR(0)
 	comp := res.CompositeSNR()
 	var l, c float64
-	for k, v := range lead {
-		l += v
+	for _, k := range slices.Sorted(maps.Keys(lead)) {
+		l += lead[k]
 		c += comp[k]
 	}
 	if ratio := c / l; ratio < 2.5 || ratio > 6 {

@@ -1,8 +1,10 @@
 package phy
 
 import (
+	"maps"
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"repro/internal/channel"
@@ -355,8 +357,8 @@ func TestCompositeSNRShowsPowerGain(t *testing.T) {
 	lead := res.SenderSNR(0)
 	comp := res.CompositeSNR()
 	var leadAvg, compAvg float64
-	for k, v := range lead {
-		leadAvg += v
+	for _, k := range slices.Sorted(maps.Keys(lead)) {
+		leadAvg += lead[k]
 		compAvg += comp[k]
 	}
 	gainDB := 10 * math.Log10(compAvg/leadAvg)

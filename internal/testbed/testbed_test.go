@@ -1,8 +1,10 @@
 package testbed
 
 import (
+	"maps"
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 
 	"repro/internal/dsp"
@@ -97,8 +99,8 @@ func TestDrawCFOBounded(t *testing.T) {
 
 func TestClassifyRegime(t *testing.T) {
 	cases := map[float64]Regime{3: LowSNR, 5.9: LowSNR, 6: MediumSNR, 12: MediumSNR, 12.1: HighSNR, 30: HighSNR}
-	for snr, want := range cases {
-		if got := ClassifyRegime(snr); got != want {
+	for _, snr := range slices.Sorted(maps.Keys(cases)) {
+		if got, want := ClassifyRegime(snr), cases[snr]; got != want {
 			t.Fatalf("%g dB -> %v, want %v", snr, got, want)
 		}
 	}
