@@ -14,6 +14,15 @@
 // "package.Name" matches — CI's guard against a perf-critical benchmark
 // suite silently dropping out of the artifact (e.g. the netsim
 // interference hot path).
+//
+// -baseline FILE compares this run against a committed record (the repo's
+// BENCH_netsim.json): every baseline benchmark must appear in the current
+// run, and no shared metric may be worse than -max-regress times its
+// baseline value. Latency-like units (ns/op, ns/event) regress upward,
+// rate-like units (anything per second) regress downward. The JSON record
+// is emitted either way so the artifact survives a failing gate; the
+// default factor is deliberately generous because CI runs benchmarks at
+// -benchtime 1x on shared runners.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -47,6 +57,8 @@ type Record struct {
 
 func main() {
 	require := flag.String("require", "", "fail unless a parsed benchmark's package.Name matches this regexp")
+	baseline := flag.String("baseline", "", "fail if any benchmark in this record regressed past -max-regress")
+	maxRegress := flag.Float64("max-regress", 5, "tolerated slowdown factor for -baseline (single-shot CI timings are noisy)")
 	flag.Parse()
 	var requireRE *regexp.Regexp
 	if *require != "" {
@@ -56,6 +68,22 @@ func main() {
 			os.Exit(2)
 		}
 		requireRE = re
+	}
+	// The baseline is read before any output so a bad path fails fast —
+	// and so a caller redirecting stdout over the baseline file cannot
+	// accidentally compare the run against itself.
+	var base *Record
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: reading -baseline: %v\n", err)
+			os.Exit(2)
+		}
+		base = &Record{}
+		if err := json.Unmarshal(data, base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing -baseline %s: %v\n", *baseline, err)
+			os.Exit(2)
+		}
 	}
 
 	rec := Record{Schema: "repro-bench/v1"}
@@ -98,7 +126,65 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if base != nil {
+		if bad := compareBaseline(base.Benchmarks, rec.Benchmarks, *maxRegress); len(bad) > 0 {
+			for _, msg := range bad {
+				fmt.Fprintf(os.Stderr, "benchjson: regression vs %s: %s\n", *baseline, msg)
+			}
+			os.Exit(1)
+		}
+	}
 }
+
+// compareBaseline checks the current benchmarks against a committed
+// baseline and returns one message per violation: a baseline benchmark
+// missing from this run, or a shared metric worse than factor times its
+// baseline value. Benchmarks new in this run pass freely — they have no
+// baseline yet.
+func compareBaseline(base, cur []Benchmark, factor float64) []string {
+	curBy := make(map[string]Benchmark, len(cur))
+	for _, b := range cur {
+		curBy[b.Package+"."+b.Name] = b
+	}
+	var bad []string
+	for _, want := range base {
+		key := want.Package + "." + want.Name
+		got, ok := curBy[key]
+		if !ok {
+			bad = append(bad, key+": in baseline but missing from this run")
+			continue
+		}
+		check := func(unit string, wantV, gotV float64) {
+			if wantV <= 0 || gotV <= 0 {
+				return // nothing meaningful to ratio
+			}
+			ratio := gotV / wantV
+			if !lowerIsBetter(unit) {
+				ratio = wantV / gotV
+			}
+			if ratio > factor {
+				bad = append(bad, fmt.Sprintf("%s %s: %.4g -> %.4g (%.2fx worse, limit %.2fx)",
+					key, unit, wantV, gotV, ratio, factor))
+			}
+		}
+		check("ns/op", want.NsPerOp, got.NsPerOp)
+		units := make([]string, 0, len(want.Metrics))
+		for u := range want.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			if gotV, ok := got.Metrics[u]; ok {
+				check(u, want.Metrics[u], gotV)
+			}
+		}
+	}
+	return bad
+}
+
+// lowerIsBetter reports whether a metric unit improves downward (latencies
+// like ns/op or ns/event) rather than upward (rates like frames/s).
+func lowerIsBetter(unit string) bool { return !strings.Contains(unit, "/s") }
 
 // anyMatches reports whether any benchmark's "package.Name" matches re.
 func anyMatches(benchmarks []Benchmark, re *regexp.Regexp) bool {

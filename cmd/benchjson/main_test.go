@@ -2,6 +2,7 @@ package main
 
 import (
 	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -40,6 +41,72 @@ func TestAnyMatchesGatesOnPackageAndName(t *testing.T) {
 	}
 	if anyMatches(without, re) {
 		t.Fatal("matched an artifact with no netsim interference benchmark")
+	}
+}
+
+func TestCompareBaseline(t *testing.T) {
+	base := []Benchmark{
+		{Name: "BenchmarkStepScaling/flows=10000", Package: "repro/internal/netsim",
+			NsPerOp: 4e9, Metrics: map[string]float64{"ns/event": 11000, "events/s": 90000}},
+		{Name: "BenchmarkSaturatedDomain", Package: "repro/internal/netsim",
+			NsPerOp: 3e5, Metrics: map[string]float64{"frames/s": 1e6}},
+	}
+
+	t.Run("within budget passes, new benchmarks ignored", func(t *testing.T) {
+		cur := []Benchmark{
+			{Name: "BenchmarkStepScaling/flows=10000", Package: "repro/internal/netsim",
+				NsPerOp: 8e9, Metrics: map[string]float64{"ns/event": 20000, "events/s": 50000}},
+			{Name: "BenchmarkSaturatedDomain", Package: "repro/internal/netsim",
+				NsPerOp: 2e5, Metrics: map[string]float64{"frames/s": 2e6}},
+			{Name: "BenchmarkBrandNew", Package: "repro", NsPerOp: 1e12},
+		}
+		if bad := compareBaseline(base, cur, 5); len(bad) != 0 {
+			t.Fatalf("within-budget run flagged: %v", bad)
+		}
+	})
+
+	t.Run("latency regression fails", func(t *testing.T) {
+		cur := []Benchmark{
+			{Name: "BenchmarkStepScaling/flows=10000", Package: "repro/internal/netsim",
+				NsPerOp: 4e9, Metrics: map[string]float64{"ns/event": 66000, "events/s": 90000}},
+			base[1],
+		}
+		bad := compareBaseline(base, cur, 5)
+		if len(bad) != 1 || !strings.Contains(bad[0], "ns/event") {
+			t.Fatalf("6x ns/event regression not flagged: %v", bad)
+		}
+	})
+
+	t.Run("rate regression fails downward", func(t *testing.T) {
+		cur := []Benchmark{
+			base[0],
+			{Name: "BenchmarkSaturatedDomain", Package: "repro/internal/netsim",
+				NsPerOp: 3e5, Metrics: map[string]float64{"frames/s": 1e5}},
+		}
+		bad := compareBaseline(base, cur, 5)
+		if len(bad) != 1 || !strings.Contains(bad[0], "frames/s") {
+			t.Fatalf("10x frames/s drop not flagged: %v", bad)
+		}
+	})
+
+	t.Run("missing baseline benchmark fails", func(t *testing.T) {
+		bad := compareBaseline(base, base[:1], 5)
+		if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+			t.Fatalf("vanished benchmark not flagged: %v", bad)
+		}
+	})
+}
+
+func TestLowerIsBetter(t *testing.T) {
+	for _, c := range []struct {
+		unit string
+		want bool
+	}{
+		{"ns/op", true}, {"ns/event", true}, {"frames/s", false}, {"events/s", false},
+	} {
+		if lowerIsBetter(c.unit) != c.want {
+			t.Fatalf("lowerIsBetter(%q) != %v", c.unit, c.want)
+		}
 	}
 }
 

@@ -182,3 +182,19 @@ func TestFig17Fig18DeterministicAcrossWorkerCounts(t *testing.T) {
 		t.Fatalf("Fig18 parallel output differs from serial")
 	}
 }
+
+func TestMetroDeterministicAcrossWorkerCounts(t *testing.T) {
+	// A quick-size city: 3x3 cells, two density points, bounded
+	// interference scans — the full indexed-scheduler pipeline (spatial
+	// hash, event heap, per-flow interference pruning) must reduce
+	// byte-identically at any worker count.
+	o := MetroOptions{Seed: 17, Placements: 2, CellsX: 3, CellsY: 3, APsPerCell: 2,
+		ClientsPer: []int{2, 4}, Packets: 10, Payload: 1460,
+		CSRangeM: 45, InterferenceRangeM: 150}
+	o.Workers = 1
+	want := fmt.Sprintf("%#v", RunMetro(o))
+	o.Workers = 4
+	if got := fmt.Sprintf("%#v", RunMetro(o)); got != want {
+		t.Fatalf("metro parallel output differs from serial:\n%s\nvs\n%s", got, want)
+	}
+}

@@ -86,6 +86,33 @@ func intSum(m map[string]int) int {
 	return sum
 }
 
+// cellKey mirrors the spatial grid's bucket key (testbed.Grid).
+type cellKey struct{ x, y int32 }
+
+// clean: the spatial-grid query idiom — buckets are visited by computed
+// key in a fixed row-major order over the query box, so there is no map
+// range to leak iteration order, even though results are appended.
+func gridQuery(buckets map[cellKey][]int32, x0, x1, y0, y1 int32) []int32 {
+	var out []int32
+	for x := x0; x <= x1; x++ {
+		for y := y0; y <= y1; y++ {
+			out = append(out, buckets[cellKey{x, y}]...)
+		}
+	}
+	return out
+}
+
+// clean: the grid-compaction idiom — ranging the bucket map is fine when
+// each key fills its own computed slot of the dense table, because visit
+// order cannot change what any slot ends up holding.
+func gridCompact(buckets map[cellKey][]int32, w, h, minX, minY int64) [][]int32 {
+	dense := make([][]int32, w*h)
+	for k, b := range buckets {
+		dense[(int64(k.y)-minY)*w+(int64(k.x)-minX)] = b
+	}
+	return dense
+}
+
 // sanctioned: an explicitly allowed order-dependent loop stays silent.
 func sanctioned(m map[string]float64) float64 {
 	var sum float64

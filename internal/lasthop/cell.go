@@ -51,6 +51,12 @@ type Cell struct {
 	Model netsim.InterferenceModel
 	// Env prices interference for the capture model.
 	Env *testbed.Testbed
+	// InterferenceRangeM bounds each settled frame's interference scan to
+	// transmitters near the receiver (netsim.Sim.InterferenceRangeM).
+	// <= 0 scans every transmission on the air — exact, but O(all flows)
+	// per settle; city-scale deployments set it to the radius beyond which
+	// interference is below noise.
+	InterferenceRangeM float64
 
 	// WindowSec switches the run to fixed-time-window saturation mode:
 	// when positive, every client offers an unbounded backlog and the run
@@ -196,6 +202,7 @@ func (c Cell) run(rng *rand.Rand, plan func(client int) clientPlan) CellResult {
 	sim.CaptureDB = c.CaptureDB
 	sim.Model = c.Model
 	sim.Env = c.Env
+	sim.InterferenceRangeM = c.InterferenceRangeM
 	n := len(c.Links)
 	flows := make([]*netsim.Flow, n)
 	for client := 0; client < n; client++ {

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -100,4 +102,44 @@ func BenchmarkInterferenceLegacyThreshold(b *testing.B) {
 func BenchmarkInterferenceRateAware(b *testing.B) {
 	cfg := modem.Profile80211()
 	benchInterference(b, NewRateAware(cfg, modem.StandardRates(), 1460))
+}
+
+// BenchmarkStepScaling drives the indexed scheduler across city sizes —
+// 100, 1k, and 10k concurrent placed flows in 4-client cells on a square
+// grid — and reports the per-event cost. Under the spatial index and the
+// event heap the ns/event metric should stay near-flat as the city grows
+// (each event touches only grid-nearby flows); the pairwise scans it
+// replaced grew superlinearly. CI's bench job archives these numbers in
+// BENCH_netsim.json and gates regressions against the committed baseline
+// via `benchjson -baseline`.
+func BenchmarkStepScaling(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("flows=%d", n), func(b *testing.B) {
+			const clientsPer, packets = 4, 4
+			cells := n / clientsPer
+			side := int(math.Ceil(math.Sqrt(float64(cells))))
+			events := 0
+			for i := 0; i < b.N; i++ {
+				s, env := benchSim(int64(5 + i))
+				s.CSRangeM = 45
+				s.InterferenceRangeM = 150
+				s.CaptureDB = 10
+				s.Env = env
+				for c := 0; c < cells; c++ {
+					cx := float64(c%side)*60 + 30
+					cy := float64(c/side)*60 + 30
+					for k := 0; k < clientsPer; k++ {
+						tx := testbed.Point{X: cx + float64(k), Y: cy}
+						rx := testbed.Point{X: cx + float64(k), Y: cy + 10}
+						s.AddFlow(placedFlow("f", packets, 1e-3, tx, rx, 25))
+					}
+				}
+				for s.Step() {
+					events++
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }

@@ -20,6 +20,19 @@
 // frame still hangs in the air elsewhere. Under spatial reuse, utilization
 // (BusyTime over Now) approaches the number of disjoint neighborhoods.
 //
+// Internally the scheduler is indexed so city-scale floors stay cheap:
+// pending events live in a min-heap keyed by (time, phase, sequence)
+// rather than being rediscovered by per-Step scans over every flow, and
+// carrier-sense lookups (who does this transmission freeze, who may resume
+// when it retires, who collided with whom) go through a spatial hash over
+// transmitter positions (testbed.Grid, cell size CSRangeM), so the
+// per-event cost is O(nearby flows), not O(all flows). The index changes
+// only the access path: which flows are examined, never the order in which
+// randomness is consumed — neighbor iteration is in sorted id order, and
+// heap ties break exactly in the order the historical scans visited
+// (air-ends before occupancy-ends before starts; transmissions in creation
+// order; flows in registration order).
+//
 // Contention follows DCF with frozen counters:
 //
 //  1. Every backlogged flow holds a backoff counter in whole slots, drawn
@@ -68,16 +81,21 @@
 // draw-for-draw and bit-for-bit identical to the historical round-based
 // scheduler — the determinism contract the fig17/fig18 experiments pin).
 //
+// Interference pricing scans every transmission on the air regardless of
+// distance by default; Sim.InterferenceRangeM bounds that scan through the
+// spatial index for city-scale floors where far interferers are noise.
+//
 // Retries re-enter contention (as in real DCF) rather than holding the
 // medium. Scenario packages (internal/lasthop, internal/exor) define flows
 // over this core instead of hand-rolling DIFS/backoff/ACK arithmetic.
 package netsim
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/mac"
 	"repro/internal/testbed"
@@ -111,7 +129,10 @@ type Flow struct {
 	Radio *Radio
 
 	// HasTraffic reports whether the flow wants the medium. Nil means the
-	// flow never contends.
+	// flow never contends. The scheduler re-examines a drained flow when
+	// its own Done retires a frame and whenever the whole simulator goes
+	// quiescent; a predicate that turns true from some *other* flow's hook
+	// (or from outside the simulator) must be announced with Sim.Wake.
 	HasTraffic func() bool
 	// Prepare is called once per head-of-line frame (not per attempt) and
 	// returns the rate index to transmit at — from SampleRate, a fixed
@@ -159,6 +180,14 @@ type Flow struct {
 	active    *tx     // in-flight transmission; nil while contending or idle
 	waiting   bool    // counting down (idleSince below is valid)
 	idleSince float64 // when the current DIFS + countdown began
+
+	// Index bookkeeping.
+	idx        int32    // position in Sim.Flows: the flow's id in the spatial index
+	queued     bool     // already on the admission queue
+	startGen   uint32   // generation of the pending start event (freeze/resume invalidates)
+	mark       uint32   // last Sim.markGen that visited this flow (scratch)
+	starterIdx int32    // this flow's slot in the current starter set (scratch)
+	past       []pastTx // finished air intervals, kept while they can still interfere (bounded-interference mode)
 }
 
 // tx is one transmission on the air: the unit the event scheduler moves
@@ -167,6 +196,7 @@ type Flow struct {
 // clock is bit-identical to summing its per-attempt costs.
 type tx struct {
 	f        *Flow
+	seq      int64   // creation order: heap tie-break, matching the historical scan order
 	base     float64 // clock time the DIFS + countdown began
 	wait     float64 // DIFS + counter·slot
 	start    float64 // base + wait: the frame hits the air
@@ -184,6 +214,41 @@ type pastTx struct {
 	start, airEnd float64
 }
 
+// Event phases at one instant, in the order the historical scheduler's
+// per-Step phases ran them: deliveries settle, then occupancies retire,
+// then new frames hit the air.
+const (
+	evAirEnd = iota // a frame's airtime ends: resolve the delivery
+	evOccEnd        // a transmission's occupancy ends: the neighborhood frees up
+	evStart         // a countdown expires: the frame hits the air
+)
+
+// event is one entry in the scheduler's min-heap. Tx events carry their
+// transmission and tie-break by creation sequence; start events carry the
+// flow's index and a generation stamp — freezing or consuming the
+// countdown bumps the flow's generation, so superseded start events are
+// recognized and discarded lazily when they surface.
+type event struct {
+	t    float64
+	seq  int64
+	r    *tx
+	kind uint8
+	gen  uint32
+}
+
+// eventLess orders the heap: time, then phase, then creation/registration
+// sequence — exactly the order the historical per-Step scans processed
+// simultaneous events.
+func eventLess(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.seq < b.seq
+}
+
 // Sim is a shared medium with a virtual clock. With the zero spatial
 // configuration it is one collision domain; with CSRangeM set and flows
 // carrying Radio info, it is a floor of overlapping carrier-sense
@@ -197,7 +262,8 @@ type Sim struct {
 	// CSRangeM is the carrier-sense range in meters: two flows contend only
 	// when their transmitters are within it. <= 0 means every flow contends
 	// with every other (one collision domain). Flows without Radio info
-	// always contend with everyone.
+	// always contend with everyone. Set it before the first Step: it also
+	// sizes the spatial index's buckets.
 	CSRangeM float64
 	// CaptureDB is the SINR threshold of the LegacyThreshold interference
 	// model: a colliding frame whose SINR at its own receiver is at least
@@ -216,6 +282,16 @@ type Sim struct {
 	// Env supplies the median path loss used to price interference
 	// (deterministic — the interference model consumes no randomness).
 	Env *testbed.Testbed
+	// InterferenceRangeM bounds the interference scan when a frame is
+	// settled: only transmitters within this range of the frame's receiver
+	// (or within CSRangeM of its transmitter — colliders always count) are
+	// priced. <= 0, the default, scans every transmission on the air
+	// regardless of distance — the historical behavior, bit-for-bit. City-
+	// scale scenarios set it to the radius beyond which interference is
+	// below noise, turning each settle into an O(nearby) index query; it
+	// should comfortably exceed CSRangeM plus the longest serving link.
+	// Set it before the first Step and leave it fixed for the run.
+	InterferenceRangeM float64
 
 	// MaxSteps bounds Run as a safety net against scenarios whose flows
 	// never drain; 0 means a generous default.
@@ -228,16 +304,42 @@ type Sim struct {
 	CollisionRounds   int // transmit groups that collided (>1 simultaneous in-range frame)
 	HiddenCorruptions int // frames corrupted by hidden-terminal interference
 
-	// Live and recently finished transmissions.
+	// Pending events, a binary min-heap ordered by eventLess.
+	events []event
+	txSeq  int64
+	txFree []*tx // retired tx structs, recycled to keep the event path allocation-free
+
+	// Spatial index over transmitter positions (nil when CSRangeM <= 0 or
+	// nothing is placed); unplaced flows contend with everyone and ride
+	// along every neighborhood query.
+	grid     *testbed.Grid
+	indexed  int // prefix of Flows already in the index
+	unplaced []int32
+	maxFT    float64 // longest frame airtime seen: prune horizon for per-flow past intervals
+
+	// Admission queue: flows that need a fresh look at the top of the next
+	// Step (new frame, retry counter, carrier-sense state), processed in
+	// registration order so RNG consumption is deterministic.
+	admitQ []int32
+
+	// Live and recently finished transmissions, maintained only in the
+	// unbounded-interference mode where settles scan them linearly; the
+	// bounded mode keeps past intervals per flow instead.
 	active []*tx
 	past   []pastTx
 
-	// Scratch buffers reused across Steps (the hot loop).
-	starters []*tx
-	interf   []interferer
-	edges    []edge
-	grouped  []bool
-	group    []int
+	// Scratch buffers reused across Steps (the hot loop). nbufA serves the
+	// outer neighborhood query of each handler, nbufB the nested blocked
+	// checks inside resume/admission.
+	startFlows []*Flow
+	starters   []*tx
+	interf     []interferer
+	edges      []edge
+	grouped    []bool
+	group      []int
+	nbufA      []int32
+	nbufB      []int32
+	markGen    uint32
 }
 
 // New returns a simulator over the given MAC timing, drawing all randomness
@@ -248,9 +350,17 @@ func New(m mac.Params, rng *rand.Rand) *Sim {
 
 // AddFlow registers a flow and returns it (for accounting reads after Run).
 func (s *Sim) AddFlow(f *Flow) *Flow {
+	f.idx = int32(len(s.Flows))
 	s.Flows = append(s.Flows, f)
+	s.enqueueAdmit(f)
 	return f
 }
+
+// Wake tells the scheduler that f may have traffic again. Flows whose
+// HasTraffic flips through their own Done hook (every backlogged scenario)
+// are rescheduled automatically; a predicate flipped from outside the
+// flow's own hooks needs a Wake so the indexed scheduler re-examines it.
+func (s *Sim) Wake(f *Flow) { s.enqueueAdmit(f) }
 
 // Now returns the virtual time elapsed so far, in seconds.
 func (s *Sim) Now() float64 { return s.now }
@@ -280,7 +390,7 @@ func (s *Sim) contends(f, g *Flow) bool { return s.inRange(f, g.Radio) }
 
 // startTime returns when f's countdown expires: the moment its
 // neighborhood went idle, plus DIFS, plus its remaining backoff slots. The
-// expression is shared by the event search and the start processing so
+// expression is shared by the start-event push and the start processing so
 // equal-countdown flows compare exactly equal (that tie is a collision).
 func (s *Sim) startTime(f *Flow) (wait, start float64) {
 	wait = s.Mac.DIFS() + float64(f.counter)*s.Mac.SlotTime
@@ -335,18 +445,22 @@ func (s *Sim) effectiveSINRdB(f *Flow, interferers []interferer) float64 {
 // worstSimultaneous sweeps the interferers' overlap intervals and returns
 // the maximum concurrently-active interference power sum. Interval edges
 // at equal times retire before they add (intervals are half-open), and
-// additions commute, so the maximum is independent of tie order.
+// additions commute, so the maximum is independent of tie order — and of
+// the order interferers were accumulated in.
 func (s *Sim) worstSimultaneous(interferers []interferer) float64 {
 	edges := s.edges[:0]
 	for _, g := range interferers {
 		edges = append(edges, edge{t: g.from, dp: g.power}, edge{t: g.to, dp: -g.power})
 	}
 	s.edges = edges
-	sort.SliceStable(edges, func(i, j int) bool {
-		if edges[i].t != edges[j].t {
-			return edges[i].t < edges[j].t
+	// The key covers both fields, so elements comparing equal are identical
+	// values — any sort yields the same array, and the generic sort skips
+	// the reflection cost of sort.Slice in this hot path.
+	slices.SortFunc(edges, func(a, b edge) int {
+		if a.t != b.t {
+			return cmp.Compare(a.t, b.t)
 		}
-		return edges[i].dp < edges[j].dp // removals first at equal times
+		return cmp.Compare(a.dp, b.dp) // removals first at equal times
 	})
 	cur, worst := 0.0, 0.0
 	for _, e := range edges {
@@ -371,6 +485,208 @@ func (s *Sim) interferenceModeled(f *Flow) bool {
 	return (s.Model != nil || s.CaptureDB > 0) && s.Env != nil && f.Radio != nil
 }
 
+// boundedInterference reports whether settles go through the spatial index
+// (per-flow past intervals) instead of the historical linear scan over
+// every live and recent transmission.
+func (s *Sim) boundedInterference() bool { return s.InterferenceRangeM > 0 }
+
+// pushEvent adds one event to the pending min-heap.
+func (s *Sim) pushEvent(e event) {
+	h := append(s.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	s.events = h
+}
+
+// popEvent removes and returns the earliest pending event.
+func (s *Sim) popEvent() event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the tx pointer
+	h = h[:n]
+	i := 0
+	for {
+		m, l, r := i, 2*i+1, 2*i+2
+		if l < n && eventLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && eventLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	s.events = h
+	return top
+}
+
+// newTx takes a transmission from the free pool, or allocates one.
+func (s *Sim) newTx() *tx {
+	if n := len(s.txFree); n > 0 {
+		r := s.txFree[n-1]
+		s.txFree = s.txFree[:n-1]
+		*r = tx{}
+		return r
+	}
+	return &tx{}
+}
+
+// ensureIndex brings the spatial index up to date with Flows: placed flows
+// enter the grid under their registration index, unplaced flows join the
+// everyone-contends list. Positions are static once registered.
+func (s *Sim) ensureIndex() {
+	for ; s.indexed < len(s.Flows); s.indexed++ {
+		f := s.Flows[s.indexed]
+		f.idx = int32(s.indexed)
+		if f.Radio == nil {
+			s.unplaced = append(s.unplaced, f.idx)
+			continue
+		}
+		if s.CSRangeM > 0 {
+			if s.grid == nil {
+				s.grid = testbed.NewGrid(s.CSRangeM)
+			}
+			s.grid.Add(s.indexed, f.Radio.TxPos)
+		}
+	}
+}
+
+// nearbyContenders appends to out the indices of every flow that shares a
+// carrier-sense neighborhood with f — including f itself — and returns the
+// extended slice. Grid hits come first in ascending id order, then the
+// unplaced flows in registration order, so iteration is deterministic.
+func (s *Sim) nearbyContenders(f *Flow, out []int32) []int32 {
+	if s.grid == nil || f.Radio == nil {
+		for i := range s.Flows {
+			out = append(out, int32(i))
+		}
+		return out
+	}
+	out = s.grid.Near(f.Radio.TxPos, s.CSRangeM, out)
+	return append(out, s.unplaced...)
+}
+
+// blocked reports whether some in-range transmission currently occupies
+// f's neighborhood. Uses the nested scratch buffer (nbufB) so callers may
+// hold nbufA across the check.
+func (s *Sim) blocked(f *Flow) bool {
+	nb := s.nearbyContenders(f, s.nbufB[:0])
+	hit := false
+	for _, gi := range nb {
+		g := s.Flows[gi]
+		if g != f && g.active != nil {
+			hit = true
+			break
+		}
+	}
+	s.nbufB = nb[:0]
+	return hit
+}
+
+// enqueueAdmit schedules f for the admission pass at the top of the next
+// Step.
+func (s *Sim) enqueueAdmit(f *Flow) {
+	if f.queued {
+		return
+	}
+	f.queued = true
+	s.admitQ = append(s.admitQ, f.idx)
+}
+
+// processAdmissions runs the admission pass over the queued flows in
+// registration order — the deterministic-RNG contract: new head-of-line
+// frames prepare and flows without a live counter draw one, exactly as the
+// historical every-flow scan did for the flows it would have touched.
+func (s *Sim) processAdmissions() {
+	if len(s.admitQ) == 0 {
+		return
+	}
+	slices.Sort(s.admitQ)
+	for _, i := range s.admitQ {
+		f := s.Flows[i]
+		f.queued = false
+		s.admit(f)
+	}
+	s.admitQ = s.admitQ[:0]
+}
+
+// admit gives one idle flow its fresh look: pull a new head-of-line frame
+// (Prepare draw), draw a backoff counter if none is banked, and enter the
+// countdown — immediately when the neighborhood is clear, otherwise frozen
+// until an in-range occupancy ends.
+func (s *Sim) admit(f *Flow) {
+	if f.active != nil {
+		return
+	}
+	if !f.inFlight {
+		if f.HasTraffic == nil || !f.HasTraffic() {
+			f.waiting = false
+			return
+		}
+		f.inFlight = true
+		f.attempt = 0
+		f.frameAir = 0
+		f.rateIdx = 0
+		if f.Prepare != nil {
+			f.rateIdx = f.Prepare(s.Rng)
+		}
+	}
+	if !f.counterValid {
+		f.counter = s.backoffSlots(f.attempt)
+		f.counterValid = true
+	}
+	if s.blocked(f) {
+		f.waiting = false
+		return
+	}
+	if !f.waiting {
+		f.waiting = true
+		f.idleSince = s.now
+		s.pushStart(f)
+	}
+}
+
+// pushStart schedules f's countdown expiry as a start event under a fresh
+// generation (superseding any stale event still in the heap).
+func (s *Sim) pushStart(f *Flow) {
+	f.startGen++
+	_, st := s.startTime(f)
+	s.pushEvent(event{t: st, kind: evStart, seq: int64(f.idx), gen: f.startGen})
+}
+
+// staleStart reports whether a start event no longer speaks for its flow:
+// the countdown was frozen, restarted, or consumed since the event was
+// pushed.
+func (s *Sim) staleStart(e event) bool {
+	f := s.Flows[e.seq]
+	return e.gen != f.startGen || !f.waiting || f.active != nil || !f.inFlight
+}
+
+// purgeStale discards superseded start events from the top of the heap so
+// the earliest remaining event is real — the clock must never advance to a
+// time where nothing happens.
+func (s *Sim) purgeStale() {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if e.kind != evStart || !s.staleStart(e) {
+			return
+		}
+		s.popEvent()
+	}
+}
+
 // Step advances the simulator to its next event — a frame starting,
 // a frame's airtime ending (delivery settles), or a transmission's
 // occupancy ending (its neighborhood frees up) — and processes every event
@@ -378,139 +694,169 @@ func (s *Sim) interferenceModeled(f *Flow) bool {
 // randomness or advancing the clock — once no flow has traffic and nothing
 // is on the air.
 func (s *Sim) Step() bool {
-	// Admission pass, in flow-registration order (deterministic RNG
-	// consumption): new head-of-line frames prepare, and flows without a
-	// live counter draw one.
-	pending := false
-	for _, f := range s.Flows {
-		if f.active != nil {
-			pending = true
-			continue
+	s.ensureIndex()
+
+	// Admission pass: flows touched by the previous event round (new
+	// frames, retry counters) take their RNG draws in registration order
+	// while the clock still reads the previous event time.
+	s.processAdmissions()
+	s.purgeStale()
+
+	if len(s.events) == 0 {
+		// Quiescent: nothing on the air, no countdown pending. Re-examine
+		// every flow (registration order) so traffic that appeared without
+		// a Wake — the historical scheduler rescanned every Step — still
+		// gets picked up, then report drained if nothing woke.
+		for _, f := range s.Flows {
+			if f.active == nil && !f.queued {
+				s.admit(f)
+			}
 		}
-		if !f.inFlight && (f.HasTraffic == nil || !f.HasTraffic()) {
+		s.purgeStale()
+		if len(s.events) == 0 {
+			return false
+		}
+	}
+
+	// Drain every event scheduled at the earliest pending instant, in
+	// phase order: deliveries settle (creation order), occupancies retire
+	// (creation order), countdown expiries collect (registration order).
+	// An unacked delivery settles into an occupancy end at the same
+	// instant; the heap surfaces it within this same drain.
+	t := s.events[0].t
+	s.now = t
+	startFlows := s.startFlows[:0]
+	for len(s.events) > 0 && s.events[0].t == t {
+		e := s.popEvent()
+		switch e.kind {
+		case evAirEnd:
+			s.resolve(e.r)
+		case evOccEnd:
+			s.retire(e.r)
+		default: // evStart
+			if !s.staleStart(e) {
+				startFlows = append(startFlows, s.Flows[e.seq])
+			}
+		}
+	}
+	s.startFlows = startFlows
+
+	// Starts: every countdown that expired at this instant puts its frame
+	// on the air. The flows were collected first so that one starter's
+	// carrier-sense freeze cannot knock out another flow starting at the
+	// same instant — simultaneous in-range starts are a collision, and
+	// they form collision groups below.
+	if len(startFlows) > 0 {
+		starters := s.starters[:0]
+		for _, f := range startFlows {
+			wait, st := s.startTime(f)
+			r := s.newTx()
+			r.f, r.seq = f, s.txSeq
+			s.txSeq++
+			r.base, r.wait, r.start, r.ft = f.idleSince, wait, st, f.FrameTime(f.rateIdx)
+			r.cost = r.wait + r.ft
+			r.airEnd = r.base + r.cost
+			r.end = r.airEnd // provisional; finalized when the delivery settles
+			f.active = r
 			f.waiting = false
-			continue
-		}
-		pending = true
-		if !f.inFlight {
-			f.inFlight = true
-			f.attempt = 0
-			f.frameAir = 0
-			f.rateIdx = 0
-			if f.Prepare != nil {
-				f.rateIdx = f.Prepare(s.Rng)
+			f.counterValid = false // the counter is consumed by this attempt
+			f.startGen++
+			if r.ft > s.maxFT {
+				s.maxFT = r.ft
 			}
+			if !s.boundedInterference() {
+				s.active = append(s.active, r)
+			}
+			s.pushEvent(event{t: r.airEnd, kind: evAirEnd, seq: r.seq, r: r})
+			starters = append(starters, r)
 		}
-		if !f.counterValid {
-			f.counter = s.backoffSlots(f.attempt)
-			f.counterValid = true
-		}
-	}
-	if !pending {
-		return false
-	}
+		s.starters = starters
 
-	// Carrier-sense pass: a contender whose neighborhood just went busy
-	// banks the idle slots that elapsed before the earliest in-range
-	// transmission started and freezes (DCF frozen backoff); a contender
-	// with a clear neighborhood counts down from idleSince and contributes
-	// a pending start event.
-	nextStart := math.Inf(1)
-	for _, f := range s.Flows {
-		if f.active != nil || !f.inFlight {
-			continue
-		}
-		blockerStart, blocked := math.Inf(1), false
-		for _, r := range s.active {
-			if s.contends(f, r.f) {
-				blocked = true
-				if r.start < blockerStart {
-					blockerStart = r.start
+		// Carrier-sense freeze: every waiting flow in range of a starter
+		// banks the idle slots that elapsed before the frame hit the air
+		// and freezes (DCF frozen backoff), resuming — not redrawing —
+		// when its neighborhood frees up.
+		for _, r := range starters {
+			nb := s.nearbyContenders(r.f, s.nbufA[:0])
+			for _, gi := range nb {
+				g := s.Flows[gi]
+				if g.active != nil || !g.inFlight || !g.waiting {
+					continue
 				}
+				g.counter -= elapsedSlots(t-g.idleSince-s.Mac.DIFS(), s.Mac.SlotTime, g.counter)
+				g.waiting = false
+				g.startGen++ // supersede the pending start event
+			}
+			s.nbufA = nb[:0]
+		}
+
+		s.countGroups(starters)
+	}
+	return true
+}
+
+// retire ends one transmission's occupancy: the flow leaves the air, the
+// finished interval is remembered for interference pricing, the flow is
+// queued for re-admission, and frozen in-range neighbors whose
+// neighborhoods are now clear resume their countdowns.
+func (s *Sim) retire(r *tx) {
+	f := r.f
+	f.active = nil
+	f.waiting = false
+	if s.boundedInterference() {
+		// Keep the interval on the flow itself, pruned against the oldest
+		// instant a still-unresolved frame could have started (an
+		// unresolved frame's airtime ends after now and spans at most the
+		// longest frame seen).
+		cutoff := s.now - s.maxFT
+		kept := f.past[:0]
+		for _, p := range f.past {
+			if p.airEnd > cutoff {
+				kept = append(kept, p)
 			}
 		}
-		if blocked {
-			if f.waiting {
-				f.counter -= elapsedSlots(blockerStart-f.idleSince-s.Mac.DIFS(), s.Mac.SlotTime, f.counter)
-				f.waiting = false
-			}
-			continue
-		}
-		if !f.waiting {
-			f.waiting = true
-			f.idleSince = s.now
-		}
-		if _, st := s.startTime(f); st < nextStart {
-			nextStart = st
-		}
-	}
-
-	// The next event is the earliest pending start, frame-air end, or
-	// occupancy end. At least one exists: a backlogged flow is either on
-	// the air, blocked by something on the air, or counting down.
-	next := nextStart
-	for _, r := range s.active {
-		t := r.end
-		if !r.resolved {
-			t = r.airEnd
-		}
-		if t < next {
-			next = t
-		}
-	}
-	s.now = next
-
-	// Frame-air ends: settle deliveries (in registration-then-start order,
-	// so delivery draws stay deterministic).
-	for _, r := range s.active {
-		if !r.resolved && r.airEnd == next {
-			s.resolve(r)
-		}
-	}
-
-	// Occupancy ends: the transmission retires and its flow re-enters
-	// contention (a fresh countdown begins at the next carrier-sense pass).
-	kept := s.active[:0]
-	retired := false
-	for _, r := range s.active {
-		if r.resolved && r.end == next {
-			r.f.active = nil
-			r.f.waiting = false
-			s.past = append(s.past, pastTx{radio: r.f.Radio, start: r.start, airEnd: r.airEnd})
-			retired = true
-			continue
-		}
-		kept = append(kept, r)
-	}
-	s.active = kept
-	if retired {
+		f.past = append(kept, pastTx{radio: f.Radio, start: r.start, airEnd: r.airEnd})
+	} else {
+		s.past = append(s.past, pastTx{radio: f.Radio, start: r.start, airEnd: r.airEnd})
+		s.removeActive(r)
 		s.prunePast()
 	}
+	s.enqueueAdmit(f)
+	s.txFree = append(s.txFree, r)
 
-	// Starts: every countdown that expires at this instant puts its frame
-	// on the air. Simultaneous in-range starts form collision groups.
-	starters := s.starters[:0]
-	for _, f := range s.Flows {
-		if f.active != nil || !f.inFlight || !f.waiting {
+	// Resume: frozen in-range flows whose neighborhoods are now completely
+	// clear restart their countdowns from this instant. Each checks its
+	// own neighborhood — it may be in range of another transmission that
+	// is still up. Flows queued for re-admission (their own attempt just
+	// ended) are skipped: they have no banked counter yet and enter the
+	// countdown through admit at the top of the next step, with the clock
+	// still reading this instant — exactly like the historical scheduler's
+	// admission-then-carrier-sense pass.
+	nb := s.nearbyContenders(f, s.nbufA[:0])
+	for _, gi := range nb {
+		g := s.Flows[gi]
+		if g == f || !g.inFlight || g.active != nil || g.waiting || g.queued || !g.counterValid {
 			continue
 		}
-		wait, st := s.startTime(f)
-		if st != next {
+		if s.blocked(g) {
 			continue
 		}
-		r := &tx{f: f, base: f.idleSince, wait: wait, start: st, ft: f.FrameTime(f.rateIdx)}
-		r.cost = r.wait + r.ft
-		r.airEnd = r.base + r.cost
-		r.end = r.airEnd // provisional; finalized when the delivery settles
-		f.active = r
-		f.waiting = false
-		f.counterValid = false // the counter is consumed by this attempt
-		s.active = append(s.active, r)
-		starters = append(starters, r)
+		g.waiting = true
+		g.idleSince = s.now
+		s.pushStart(g)
 	}
-	s.starters = starters
-	s.countGroups(starters)
-	return true
+	s.nbufA = nb[:0]
+}
+
+// removeActive takes one retired transmission out of the live list,
+// preserving creation order (the settle scan's deterministic order).
+func (s *Sim) removeActive(r *tx) {
+	for i, g := range s.active {
+		if g == r {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			return
+		}
+	}
 }
 
 // elapsedSlots converts idle time after DIFS into whole backoff slots,
@@ -529,7 +875,8 @@ func elapsedSlots(idle, slot float64, counter int) int {
 
 // countGroups tallies medium acquisitions and collisions among the
 // transmissions that started simultaneously: connected components of the
-// carrier-sense relation, walked in registration order.
+// carrier-sense relation. Component counts are independent of walk order,
+// so the spatial index only changes which pairs are examined.
 func (s *Sim) countGroups(starters []*tx) {
 	if len(starters) == 0 {
 		return
@@ -543,6 +890,41 @@ func (s *Sim) countGroups(starters []*tx) {
 		grouped = append(grouped, false)
 	}
 	group := s.group[:0]
+	if s.grid != nil {
+		// Component walk over grid neighborhoods: each starter's flow is
+		// stamped with its slot, and neighbors resolve through the index
+		// instead of a pairwise scan over every starter.
+		s.markGen++
+		for i, r := range starters {
+			r.f.mark = s.markGen
+			r.f.starterIdx = int32(i)
+		}
+		for i := range starters {
+			if grouped[i] {
+				continue
+			}
+			group = append(group[:0], i)
+			grouped[i] = true
+			for k := 0; k < len(group); k++ {
+				nb := s.nearbyContenders(starters[group[k]].f, s.nbufA[:0])
+				for _, gi := range nb {
+					g := s.Flows[gi]
+					if g.mark != s.markGen || grouped[g.starterIdx] {
+						continue
+					}
+					grouped[g.starterIdx] = true
+					group = append(group, int(g.starterIdx))
+				}
+				s.nbufA = nb[:0]
+			}
+			s.Acquisitions++
+			if len(group) > 1 {
+				s.CollisionRounds++
+			}
+		}
+		s.grouped, s.group = grouped, group
+		return
+	}
 	for i := range starters {
 		if grouped[i] {
 			continue
@@ -575,10 +957,11 @@ func (s *Sim) resolve(r *tx) {
 	f := r.f
 	f.Attempts++
 
-	// Gather the transmissions whose frames overlapped r's, in
-	// active-then-past scan order (deterministic accumulation). Each
+	// Gather the transmissions whose frames overlapped r's. Each
 	// contributes its median interference power over the clipped overlap
-	// interval.
+	// interval. The decode decision below is invariant to accumulation
+	// order (collider counts and interval maxima commute), so the bounded
+	// mode is free to gather through the index.
 	interf := s.interf[:0]
 	nColliders := 0
 	geometryKnown := true
@@ -610,13 +993,17 @@ func (s *Sim) resolve(r *tx) {
 		g.power = math.Pow(10, s.Env.MeanSNRdB(d)/10)
 		interf = append(interf, g)
 	}
-	for _, g := range s.active {
-		if g != r {
-			scan(g.f.Radio, g.start, g.airEnd, g.resolved)
+	if s.boundedInterference() {
+		s.scanBounded(r, scan)
+	} else {
+		for _, g := range s.active {
+			if g != r {
+				scan(g.f.Radio, g.start, g.airEnd, g.resolved)
+			}
 		}
-	}
-	for _, p := range s.past {
-		scan(p.radio, p.start, p.airEnd, true)
+		for _, p := range s.past {
+			scan(p.radio, p.start, p.airEnd, true)
+		}
 	}
 	s.interf = interf
 
@@ -687,6 +1074,7 @@ func (s *Sim) resolve(r *tx) {
 	}
 	r.end = r.base + r.cost
 	r.resolved = true
+	s.pushEvent(event{t: r.end, kind: evOccEnd, seq: r.seq, r: r})
 	f.frameAir += r.cost
 	f.AirTime += r.cost
 	s.busy += busy
@@ -695,6 +1083,43 @@ func (s *Sim) resolve(r *tx) {
 	} else {
 		s.failAttempt(f)
 	}
+}
+
+// scanBounded feeds the settle scan from the spatial index: candidate
+// flows come from two neighborhood queries — carrier-sense range around
+// the transmitter (every possible collider) and interference range around
+// the receiver (every interferer loud enough to price) — plus the
+// unplaced flows, each contributing its live transmission and its
+// remembered past intervals.
+func (s *Sim) scanBounded(r *tx, scan func(radio *Radio, start, airEnd float64, resolved bool)) {
+	f := r.f
+	visit := func(g *Flow) {
+		if g.mark == s.markGen {
+			return
+		}
+		g.mark = s.markGen
+		if a := g.active; a != nil && a != r {
+			scan(g.Radio, a.start, a.airEnd, a.resolved)
+		}
+		for _, p := range g.past {
+			scan(p.radio, p.start, p.airEnd, true)
+		}
+	}
+	s.markGen++
+	if s.grid == nil || f.Radio == nil {
+		for _, g := range s.Flows {
+			visit(g)
+		}
+		return
+	}
+	cand := s.nbufA[:0]
+	cand = s.grid.Near(f.Radio.TxPos, s.CSRangeM, cand)
+	cand = s.grid.Near(f.Radio.RxPos, s.InterferenceRangeM, cand)
+	cand = append(cand, s.unplaced...)
+	for _, gi := range cand {
+		visit(s.Flows[gi])
+	}
+	s.nbufA = cand[:0]
 }
 
 // prunePast drops finished transmissions that can no longer overlap any
