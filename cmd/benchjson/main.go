@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -155,8 +156,12 @@ func compareBaseline(base, cur []Benchmark, factor float64) []string {
 			continue
 		}
 		check := func(unit string, wantV, gotV float64) {
-			if wantV <= 0 || gotV <= 0 {
-				return // nothing meaningful to ratio
+			// A zero, negative, or non-finite value on either side means
+			// there is nothing meaningful to ratio: a zero-iteration or
+			// hand-edited baseline must not manufacture a regression (or
+			// silently mask one by making every comparison NaN).
+			if !isFiniteRatioable(wantV) || !isFiniteRatioable(gotV) {
+				return
 			}
 			ratio := gotV / wantV
 			if !lowerIsBetter(unit) {
@@ -186,6 +191,12 @@ func compareBaseline(base, cur []Benchmark, factor float64) []string {
 // like ns/op or ns/event) rather than upward (rates like frames/s).
 func lowerIsBetter(unit string) bool { return !strings.Contains(unit, "/s") }
 
+// isFiniteRatioable reports whether v can sit on either side of a
+// regression ratio: strictly positive and finite.
+func isFiniteRatioable(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1)
+}
+
 // anyMatches reports whether any benchmark's "package.Name" matches re.
 func anyMatches(benchmarks []Benchmark, re *regexp.Regexp) bool {
 	for _, b := range benchmarks {
@@ -204,13 +215,17 @@ func parseBenchLine(line, pkg string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
+	if err != nil || iters < 0 {
 		return Benchmark{}, false
 	}
 	b := Benchmark{Name: fields[0], Package: pkg, Iterations: iters, NsPerOp: -1}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
+		// ParseFloat happily accepts "NaN" and "Inf", but a non-finite
+		// value is never a real benchmark measurement — and NaN would later
+		// make json.Encoder fail on the whole record. Treat the line as
+		// noise instead.
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 			return Benchmark{}, false
 		}
 		unit := fields[i+1]

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"regexp"
 	"strings"
 	"testing"
@@ -120,9 +121,124 @@ func TestParseBenchLineRejectsNoise(t *testing.T) {
 		"--- BENCH: BenchmarkFoo",
 		"BenchmarkBroken notanumber 12 ns/op",
 		"BenchmarkNoNsPerOp 1 42 frames/s", // ns/op is mandatory
+		// Non-finite measurements: strconv.ParseFloat accepts all of these
+		// spellings, but a NaN would later sink the whole JSON record
+		// (json.Encoder rejects it), so the parser must drop the line.
+		"BenchmarkNaN 1 NaN ns/op",
+		"BenchmarkNaNMetric 1 100 ns/op NaN frames/s",
+		"BenchmarkInf 1 +Inf ns/op",
+		"BenchmarkNegInf 1 100 ns/op -Inf frames/s",
+		"BenchmarkNegIters -1 100 ns/op",
 	} {
 		if _, ok := parseBenchLine(line, ""); ok {
 			t.Fatalf("accepted noise line %q", line)
 		}
+	}
+}
+
+func TestCompareBaselineDegenerateValues(t *testing.T) {
+	// A zero-iteration baseline entry (e.g. a hand-edited or truncated
+	// record) carries zero ns/op and zero rates; none of it is ratioable,
+	// so a normal current run must pass without a manufactured regression.
+	t.Run("zero-iteration baseline benchmark passes", func(t *testing.T) {
+		base := []Benchmark{
+			{Name: "BenchmarkStub", Package: "repro/internal/netsim", Iterations: 0,
+				NsPerOp: 0, Metrics: map[string]float64{"frames/s": 0}},
+		}
+		cur := []Benchmark{
+			{Name: "BenchmarkStub", Package: "repro/internal/netsim", Iterations: 1,
+				NsPerOp: 5e9, Metrics: map[string]float64{"frames/s": 1}},
+		}
+		if bad := compareBaseline(base, cur, 5); len(bad) != 0 {
+			t.Fatalf("zero baseline values manufactured a regression: %v", bad)
+		}
+	})
+
+	// NaN on either side of a ratio makes every comparison vacuously
+	// false; the guard must skip it explicitly rather than let NaN decide.
+	t.Run("NaN values are skipped, finite metrics still checked", func(t *testing.T) {
+		nan := math.NaN()
+		base := []Benchmark{
+			{Name: "BenchmarkMixed", Package: "repro", NsPerOp: nan,
+				Metrics: map[string]float64{"ns/event": 1000, "events/s": nan}},
+		}
+		cur := []Benchmark{
+			{Name: "BenchmarkMixed", Package: "repro", NsPerOp: 100,
+				Metrics: map[string]float64{"ns/event": 60000, "events/s": 1}},
+		}
+		bad := compareBaseline(base, cur, 5)
+		if len(bad) != 1 || !strings.Contains(bad[0], "ns/event") {
+			t.Fatalf("want exactly the finite ns/event regression flagged, got %v", bad)
+		}
+	})
+
+	t.Run("zero current value does not divide by zero", func(t *testing.T) {
+		base := []Benchmark{{Name: "B", Package: "p", NsPerOp: 100,
+			Metrics: map[string]float64{"events/s": 1000}}}
+		cur := []Benchmark{{Name: "B", Package: "p", NsPerOp: 100,
+			Metrics: map[string]float64{"events/s": 0}}}
+		if bad := compareBaseline(base, cur, 5); len(bad) != 0 {
+			t.Fatalf("zero current rate should be skipped, not flagged: %v", bad)
+		}
+	})
+}
+
+func TestCompareBaselineMixedUnitsOneBenchmark(t *testing.T) {
+	// One benchmark carrying both a latency metric and a rate metric:
+	// the two regress in opposite directions, and both must be caught in
+	// the same pass (latency up 10x, rate down 10x).
+	base := []Benchmark{
+		{Name: "BenchmarkStep", Package: "repro/internal/netsim", NsPerOp: 1e6,
+			Metrics: map[string]float64{"ns/event": 1000, "events/s": 1e6}},
+	}
+	cur := []Benchmark{
+		{Name: "BenchmarkStep", Package: "repro/internal/netsim", NsPerOp: 1e6,
+			Metrics: map[string]float64{"ns/event": 1e4, "events/s": 1e5}},
+	}
+	bad := compareBaseline(base, cur, 5)
+	if len(bad) != 2 {
+		t.Fatalf("want both the latency and the rate regression, got %v", bad)
+	}
+	joined := strings.Join(bad, "\n")
+	for _, unit := range []string{"ns/event", "events/s"} {
+		if !strings.Contains(joined, unit) {
+			t.Errorf("missing %s regression in %v", unit, bad)
+		}
+	}
+
+	// Improvements in both directions pass: latency down, rate up.
+	better := []Benchmark{
+		{Name: "BenchmarkStep", Package: "repro/internal/netsim", NsPerOp: 1e5,
+			Metrics: map[string]float64{"ns/event": 100, "events/s": 1e7}},
+	}
+	if bad := compareBaseline(base, better, 5); len(bad) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", bad)
+	}
+}
+
+func TestParseBenchStreamMixedUnits(t *testing.T) {
+	// A realistic mixed stream: latency-only benchmarks and rate-carrying
+	// benchmarks from different packages in one `go test -bench` output.
+	lines := []string{
+		"BenchmarkFig12SyncError-8 10 123456 ns/op",
+		"BenchmarkSaturatedDomain-8 1 321815 ns/op 1245489 frames/s",
+		"BenchmarkStepScaling/flows=10000-8 1 4e+09 ns/op 11000 ns/event 90000 events/s",
+	}
+	var got []Benchmark
+	for _, line := range lines {
+		b, ok := parseBenchLine(line, "repro/internal/netsim")
+		if !ok {
+			t.Fatalf("rejected valid line %q", line)
+		}
+		got = append(got, b)
+	}
+	if got[0].Metrics != nil {
+		t.Errorf("latency-only benchmark grew metrics: %v", got[0].Metrics)
+	}
+	if got[1].Metrics["frames/s"] != 1245489 {
+		t.Errorf("frames/s lost: %v", got[1].Metrics)
+	}
+	if got[2].NsPerOp != 4e9 || got[2].Metrics["ns/event"] != 11000 || got[2].Metrics["events/s"] != 90000 {
+		t.Errorf("mixed-unit benchmark misparsed: %+v", got[2])
 	}
 }

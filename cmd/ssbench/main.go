@@ -7,6 +7,10 @@
 //
 // Experiments: fig12 fig13 fig14 fig15 fig16 fig17 fig18 cell cellsweep
 // metro crosstraffic crosstraffic-spatial overhead detdelay ablations all
+//
+// The rendering itself lives in internal/experiments, shared with the
+// ssserve daemon — this command only translates flags into
+// experiments.Params and reports wall-clock timings on stderr.
 package main
 
 import (
@@ -17,10 +21,8 @@ import (
 	"strings"
 	"time"
 
-	sourcesync "repro"
 	"repro/internal/engine"
-	"repro/internal/modem"
-	"repro/internal/netsim"
+	"repro/internal/experiments"
 )
 
 var (
@@ -35,15 +37,6 @@ var (
 	legacy   = flag.Bool("legacy", false, "run cell/cellsweep/crosstraffic* with their pre-model interference behavior (cellsweep keeps its binary CaptureDB gate; cell and the crosstraffic variants historically modeled no interference at all)")
 )
 
-// experimentNames lists every registered experiment in the order `all`
-// runs them. docs_test.go checks docs/EXPERIMENTS.md documents each one,
-// so the list, the run switch, and the docs cannot drift apart silently.
-var experimentNames = []string{
-	"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-	"cell", "cellsweep", "metro", "crosstraffic", "crosstraffic-spatial",
-	"overhead", "detdelay", "ablations",
-}
-
 // workers translates the flags into the engine's convention: 1 worker when
 // -parallel=false, otherwise -workers (0 meaning one worker per CPU).
 func workers() int {
@@ -53,265 +46,9 @@ func workers() int {
 	return *nworkers
 }
 
-func main() {
-	flag.Parse()
-	if *list {
-		for _, e := range experimentNames {
-			fmt.Println(e)
-		}
-		return
-	}
-	if flag.NArg() < 1 {
-		usage()
-		os.Exit(2)
-	}
-	start := time.Now() //sslint:allow detwallclock stderr-only timing report; stdout stays byte-identical
-	for _, exp := range flag.Args() {
-		run(strings.ToLower(exp))
-	}
-	// Timing goes to stderr so stdout stays byte-identical across runs
-	// (the tables are diffed to check worker-count determinism).
-	fmt.Fprintf(os.Stderr, "\ntotal wall clock: %.2fs (%d workers)\n",
-		time.Since(start).Seconds(), engine.WorkerCount(workers())) //sslint:allow detwallclock stderr-only timing report; stdout stays byte-identical
-}
-
-func usage() {
-	fmt.Fprintf(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] [-cells N,N,...] [-cs M,M,...] [-window SEC] [-legacy] <%s|all>\n       ssbench -list\n",
-		strings.Join(experimentNames, "|"))
-}
-
-func run(exp string) {
-	start := time.Now() //sslint:allow detwallclock per-experiment stderr timing; no simulation state involved
-	defer func() {
-		fmt.Fprintf(os.Stderr, "[%s: %.2fs wall clock]\n", exp, time.Since(start).Seconds()) //sslint:allow detwallclock per-experiment stderr timing; no simulation state involved
-	}()
-	switch exp {
-	case "fig12":
-		fig12()
-	case "fig13":
-		fig13()
-	case "fig14":
-		fig14()
-	case "fig15":
-		fig15()
-	case "fig16":
-		fig16()
-	case "fig17":
-		fig17()
-	case "fig18":
-		fig18(6)
-		fig18(12)
-	case "cell":
-		cell()
-	case "cellsweep":
-		cellsweep()
-	case "metro":
-		metro()
-	case "crosstraffic":
-		crosstraffic()
-	case "crosstraffic-spatial":
-		crosstrafficSpatial()
-	case "overhead":
-		overhead()
-	case "detdelay":
-		detdelay()
-	case "ablations":
-		ablations()
-	case "all":
-		for _, e := range experimentNames {
-			run(e)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
-		usage()
-		os.Exit(2)
-	}
-}
-
-func shrink(n int) int {
-	if *quick && n > 4 {
-		return n / 4
-	}
-	return n
-}
-
-func header(title string) {
-	fmt.Printf("\n=== %s ===\n", title)
-}
-
-func fig12() {
-	header("Figure 12 — 95th percentile synchronization error vs SNR (WiGLAN profile)")
-	o := sourcesync.DefaultFig12Options()
-	o.Seed = *seed
-	o.Workers = workers()
-	o.Trials = shrink(o.Trials)
-	fmt.Printf("%8s %12s %12s %8s %8s\n", "SNR(dB)", "p50(ns)", "p95(ns)", "usable", "dropped")
-	for _, p := range sourcesync.RunFig12(o) {
-		fmt.Printf("%8.1f %12.2f %12.2f %8d %8d\n", p.SNRdB, p.P50Ns, p.P95Ns, p.Usable, p.Dropped)
-	}
-	fmt.Println("paper: <= 20 ns across the operational SNR range")
-}
-
-func fig13() {
-	header("Figure 13 — composite SNR vs cyclic prefix: SourceSync vs unsynchronized baseline")
-	o := sourcesync.DefaultFig13Options()
-	o.Seed = *seed + 1
-	o.Workers = workers()
-	o.FramesPerCP = shrink(o.FramesPerCP * 2)
-	fmt.Printf("%10s %10s %14s %14s\n", "CP(ns)", "CP(smp)", "SourceSync(dB)", "Baseline(dB)")
-	for _, p := range sourcesync.RunFig13(o) {
-		fmt.Printf("%10.0f %10d %14.2f %14.2f\n", p.CPNs, p.CPSamples, p.SourceSyncSNR, p.BaselineSNR)
-	}
-	fmt.Println("paper: SourceSync reaches ~95% of peak SNR at 117 ns; baseline needs ~469 ns")
-}
-
-func fig14() {
-	header("Figure 14 — delay spread of a single sender (|h|^2 vs tap index)")
-	o := sourcesync.DefaultFig14Options()
-	o.Seed = *seed + 2
-	o.Workers = workers()
-	pts := sourcesync.RunFig14(o)
-	fmt.Printf("%6s %10s\n", "tap", "|h|^2")
-	for _, p := range pts {
-		if p.TapIdx%2 == 0 { // thin the printout
-			fmt.Printf("%6d %10.4f\n", p.TapIdx, p.Power)
-		}
-	}
-	fmt.Printf("significant taps (>=1%% of peak): %d (paper: ~15)\n", sourcesync.SignificantTaps(pts, 0.01))
-}
-
-func fig15() {
-	header("Figure 15 — power gains: average SNR, single sender vs SourceSync")
-	o := sourcesync.DefaultFig15Options()
-	o.Seed = *seed + 3
-	o.Workers = workers()
-	o.Placements = shrink(o.Placements)
-	fmt.Printf("%8s %14s %14s %10s %6s\n", "regime", "single(dB)", "SourceSync(dB)", "gain(dB)", "n")
-	for _, r := range sourcesync.RunFig15(o) {
-		fmt.Printf("%8s %14.2f %14.2f %10.2f %6d\n", r.Regime, r.SingleSNRdB, r.JointSNRdB, r.GainDB, r.Measurements)
-	}
-	fmt.Println("paper: 2-3 dB gain in every regime")
-}
-
-func fig16() {
-	header("Figure 16 — per-subcarrier SNR profiles (frequency diversity)")
-	o := sourcesync.DefaultFig15Options()
-	o.Seed = *seed + 4
-	o.Workers = workers()
-	o.Placements = shrink(o.Placements)
-	for _, s := range sourcesync.RunFig16(o) {
-		fmt.Printf("\n[%s SNR regime]\n%10s %10s %10s %10s\n", s.Regime, "f(MHz)", "snd1(dB)", "snd2(dB)", "joint(dB)")
-		for i := range s.FreqMHz {
-			fmt.Printf("%10.1f %10.2f %10.2f %10.2f\n", s.FreqMHz[i], s.Sender1[i], s.Sender2[i], s.Joint[i])
-		}
-		fmt.Printf("flatness (std dev dB): sender1 %.2f, sender2 %.2f, joint %.2f\n",
-			s.Flatness.Sender1, s.Flatness.Sender2, s.Flatness.Joint)
-	}
-	fmt.Println("\npaper: the joint profile is flatter than either sender's")
-}
-
-func fig17() {
-	header("Figure 17 — last-hop throughput CDF: best single AP vs SourceSync (2 APs)")
-	o := sourcesync.DefaultFig17Options()
-	o.Seed = *seed + 5
-	o.Workers = workers()
-	o.Placements = shrink(o.Placements)
-	o.Packets = shrink(o.Packets)
-	res := sourcesync.RunFig17(o)
-	fmt.Printf("%10s %14s %14s\n", "fraction", "single(Mbps)", "joint(Mbps)")
-	n := len(res.SingleMbps)
-	for i := 0; i < n; i++ {
-		fmt.Printf("%10.3f %14.2f %14.2f\n", float64(i+1)/float64(n), res.SingleMbps[i], res.JointMbps[i])
-	}
-	fmt.Printf("median gain: %.2fx (paper: 1.57x)\n", res.MedianGain)
-}
-
-func fig18(mbps int) {
-	header(fmt.Sprintf("Figure 18 — opportunistic routing throughput CDF at %d Mbps", mbps))
-	o := sourcesync.DefaultFig18Options(mbps)
-	o.Seed = *seed + 6
-	o.Workers = workers()
-	o.Topologies = shrink(o.Topologies)
-	o.Packets = shrink(o.Packets)
-	res := sourcesync.RunFig18(o)
-	fmt.Printf("%10s %14s %12s %18s\n", "fraction", "single(Mbps)", "ExOR(Mbps)", "ExOR+SrcSync(Mbps)")
-	n := len(res.SinglePathMbps)
-	for i := 0; i < n; i++ {
-		fmt.Printf("%10.3f %14.3f %12.3f %18.3f\n", float64(i+1)/float64(n),
-			res.SinglePathMbps[i], res.ExORMbps[i], res.SourceSyncMbps[i])
-	}
-	fmt.Printf("median gains: ExOR/single %.2fx, SrcSync/ExOR %.2fx, SrcSync/single %.2fx\n",
-		res.GainExOROverSP, res.GainSSOverExOR, res.GainSSOverSP)
-	fmt.Println("paper: ExOR 1.26-1.4x over single path; SourceSync 1.35-1.45x over ExOR; 1.7-2x overall")
-}
-
-// modelName labels the interference pricing the -legacy flag selects. The
-// legacy behavior differs per experiment — cellsweep keeps its binary
-// CaptureDB gate, while cell and the crosstraffic variants historically
-// ran with no interference model — so the label stays generic.
-func modelName() string {
-	if *legacy {
-		return "legacy"
-	}
-	return "rate-aware"
-}
-
-// printCorruption renders the interference model's per-rate outcome table:
-// one row per SampleRate rate index that saw interference, with the mean
-// decode margin of its interfered attempts.
-func printCorruption(rc []netsim.RateCorruption) {
-	total := 0
-	for _, c := range rc {
-		total += c.Interfered
-	}
-	if total == 0 {
-		fmt.Println("per-rate interference outcomes: none (no attempt overlapped with a model engaged)")
-		return
-	}
-	cfg := sourcesync.Profile80211()
-	rates := modem.StandardRates()
-	fmt.Println("per-rate interference outcomes:")
-	fmt.Printf("%12s %11s %10s %9s %11s\n", "rate", "interfered", "corrupted", "degraded", "margin(dB)")
-	for i, c := range rc {
-		if c.Interfered == 0 {
-			continue
-		}
-		label := fmt.Sprintf("idx %d", i)
-		if i < len(rates) {
-			label = fmt.Sprintf("%.0f Mbps", rates[i].BitRate(cfg)/1e6)
-		}
-		fmt.Printf("%12s %11d %10d %9d %11.2f\n",
-			label, c.Interfered, c.Corrupted, c.Degraded, c.MarginDB/float64(c.Interfered))
-	}
-}
-
-func cell() {
-	header("Cell — multi-client WLAN aggregate throughput: best single AP vs SourceSync")
-	o := sourcesync.DefaultCellOptions()
-	o.Seed = *seed + 8
-	o.Workers = workers()
-	o.Placements = shrink(o.Placements)
-	o.Packets = shrink(o.Packets)
-	o.Legacy = *legacy
-	o.WindowSec = *window
-	res := sourcesync.RunCell(o)
-	fmt.Printf("clients=%d APs=%d packets/client=%d model=%s", o.Clients, o.APs, o.Packets, modelName())
-	if o.WindowSec > 0 {
-		fmt.Printf(" window=%.2fs", o.WindowSec)
-	}
-	fmt.Println()
-	fmt.Printf("%10s %14s %14s\n", "fraction", "single(Mbps)", "joint(Mbps)")
-	n := len(res.SingleAggMbps)
-	for i := 0; i < n; i++ {
-		fmt.Printf("%10.3f %14.2f %14.2f\n", float64(i+1)/float64(n), res.SingleAggMbps[i], res.JointAggMbps[i])
-	}
-	fmt.Printf("median aggregate gain: %.2fx; per acquisition: collisions %.3f, captures %.3f\n",
-		res.MedianGain, res.MeanCollisionRate, res.MeanCaptureRate)
-	printCorruption(res.RateCorruption)
-}
-
-func cellsweep() {
-	// Validate the flags before the (expensive) clients-per-cell sweep runs.
+// params assembles the experiments.Params the flags select, validating the
+// comma-separated sweep flags up front.
+func params() experiments.Params {
 	counts, err := parseCellCounts(*cells)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -cells %q: %v\n", *cells, err)
@@ -322,65 +59,62 @@ func cellsweep() {
 		fmt.Fprintf(os.Stderr, "bad -cs %q: %v\n", *csRanges, err)
 		os.Exit(2)
 	}
-	header("Cellsweep — saturation throughput vs clients per cell (multi-cell spatial reuse)")
-	o := sourcesync.DefaultCellSweepOptions()
-	o.Seed = *seed + 10
-	o.Workers = workers()
-	o.Placements = shrink(o.Placements)
-	o.Packets = shrink(o.Packets)
-	o.Legacy = *legacy
-	o.WindowSec = *window
-	res := sourcesync.RunCellSweep(o)
-	fmt.Printf("cells=%d aps/cell=%d packets/client=%d cs-range=%.0fm model=%s", o.Cells, o.APsPerCell, o.Packets, o.CSRangeM, modelName())
-	if o.WindowSec > 0 {
-		fmt.Printf(" window=%.2fs", o.WindowSec)
+	return experiments.Params{
+		Seed:      *seed,
+		Quick:     *quick,
+		Workers:   workers(),
+		Cells:     counts,
+		CSRanges:  ranges,
+		WindowSec: *window,
+		Legacy:    *legacy,
 	}
-	fmt.Println()
-	rows := make([]sweepRow, len(res.Points))
-	for i, p := range res.Points {
-		rows[i] = sweepRow{strconv.Itoa(p.ClientsPerCell), p.SweepStats}
-	}
-	printSweepTable("clients", rows)
-	fmt.Println("utilization above 1 = cells beyond carrier-sense range carrying frames concurrently")
-	if last := len(res.Points) - 1; last >= 0 {
-		printCorruption(res.Points[last].RateCorruption)
-	}
-
-	clientsPer := shrink(4)
-	pts := sourcesync.RunCellCountSweep(o, counts, clientsPer)
-	fmt.Printf("\ncapacity vs cell count (clients/cell=%d):\n", clientsPer)
-	rows = make([]sweepRow, len(pts))
-	for i, p := range pts {
-		rows[i] = sweepRow{strconv.Itoa(p.Cells), p.SweepStats}
-	}
-	printSweepTable("cells", rows)
-	fmt.Println("capacity should scale near-linearly with cell count (AirSync-style spatial reuse)")
-
-	csPts := sourcesync.RunCSRangeSweep(o, ranges, clientsPer)
-	fmt.Printf("\ncapacity vs carrier-sense range (cells=%d clients/cell=%d):\n", o.Cells, clientsPer)
-	rows = make([]sweepRow, len(csPts))
-	for i, p := range csPts {
-		rows[i] = sweepRow{fmt.Sprintf("%.0f", p.CSRangeM), p.SweepStats}
-	}
-	printSweepTable("cs(m)", rows)
-	fmt.Println("shorter carrier sense = denser reuse but more hidden terminals; the model prices the tradeoff")
 }
 
-// sweepRow is one rendered cellsweep table row: the swept value plus the
-// shared statistics.
-type sweepRow struct {
-	key   string
-	stats sourcesync.SweepStats
+func main() {
+	flag.Parse()
+	if *list {
+		for _, e := range experiments.Names() {
+			fmt.Println(e)
+		}
+		return
+	}
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	p := params()
+	start := time.Now() //sslint:allow detwallclock stderr-only timing report; stdout stays byte-identical
+	for _, exp := range flag.Args() {
+		run(strings.ToLower(exp), p)
+	}
+	// Timing goes to stderr so stdout stays byte-identical across runs
+	// (the tables are diffed to check worker-count determinism).
+	fmt.Fprintf(os.Stderr, "\ntotal wall clock: %.2fs (%d workers)\n",
+		time.Since(start).Seconds(), engine.WorkerCount(workers())) //sslint:allow detwallclock stderr-only timing report; stdout stays byte-identical
 }
 
-// printSweepTable renders one of cellsweep's three tables: the swept
-// column under keyHeader, then the shared statistics columns.
-func printSweepTable(keyHeader string, rows []sweepRow) {
-	fmt.Printf("%10s %14s %14s %8s %8s %8s %8s %8s\n", keyHeader, "single(Mbps)", "joint(Mbps)", "gain", "collis", "hidden", "capture", "util")
-	for _, r := range rows {
-		s := r.stats
-		fmt.Printf("%10s %14.2f %14.2f %7.2fx %8.3f %8.3f %8.3f %8.2f\n",
-			r.key, s.SingleAggMbps, s.JointAggMbps, s.MedianGain, s.CollisionRate, s.HiddenRate, s.CaptureRate, s.MeanUtilization)
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] [-cells N,N,...] [-cs M,M,...] [-window SEC] [-legacy] <%s|all>\n       ssbench -list\n",
+		strings.Join(experiments.Names(), "|"))
+}
+
+func run(exp string, p experiments.Params) {
+	start := time.Now() //sslint:allow detwallclock per-experiment stderr timing; no simulation state involved
+	defer func() {
+		fmt.Fprintf(os.Stderr, "[%s: %.2fs wall clock]\n", exp, time.Since(start).Seconds()) //sslint:allow detwallclock per-experiment stderr timing; no simulation state involved
+	}()
+	if exp == "all" {
+		// Expand here rather than passing "all" through, so every
+		// experiment gets its own stderr timing line as it always has.
+		for _, e := range experiments.Names() {
+			run(e, p)
+		}
+		return
+	}
+	if err := experiments.Run(os.Stdout, exp, p); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		usage()
+		os.Exit(2)
 	}
 }
 
@@ -415,121 +149,4 @@ func parseCSRanges(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func metro() {
-	header("Metro — city-scale capacity map by client density: best single AP vs SourceSync")
-	o := sourcesync.DefaultMetroOptions()
-	o.Seed = *seed + 16
-	o.Workers = workers()
-	o.WindowSec = *window
-	if *quick {
-		// A quick city: 16 cells and light density, or the metro grid
-		// dwarfs every other quick experiment combined.
-		o.CellsX, o.CellsY = 4, 4
-		o.ClientsPer = []int{2, 4}
-		o.Placements = 2
-	}
-	o.Packets = shrink(o.Packets)
-	res := sourcesync.RunMetro(o)
-	fmt.Printf("cells=%dx%d aps/cell=%d packets/client=%d cs-range=%.0fm ix-range=%.0fm model=rate-aware",
-		o.CellsX, o.CellsY, o.APsPerCell, o.Packets, o.CSRangeM, o.InterferenceRangeM)
-	if o.WindowSec > 0 {
-		fmt.Printf(" window=%.2fs", o.WindowSec)
-	}
-	fmt.Println()
-	rows := make([]sweepRow, len(res.Points))
-	for i, p := range res.Points {
-		rows[i] = sweepRow{fmt.Sprintf("%d (%d)", p.ClientsPerCell, p.Clients), p.SweepStats}
-	}
-	printSweepTable("cl (flows)", rows)
-	fmt.Println("capacity should grow with density until interference bites; joint service holds its gain city-wide")
-	if last := len(res.Points) - 1; last >= 0 {
-		printCorruption(res.Points[last].RateCorruption)
-	}
-}
-
-func crosstraffic() {
-	header("Cross-traffic — routed mesh flow contending with relay-to-relay flows")
-	o := sourcesync.DefaultCrossTrafficOptions()
-	o.Seed = *seed + 9
-	runCrossTraffic(o)
-}
-
-func crosstrafficSpatial() {
-	header("Cross-traffic (spatial mesh) — cross flows in separate cells: reuse + hidden terminals on the routing side")
-	o := sourcesync.SpatialCrossTrafficOptions()
-	o.Seed = *seed + 11
-	runCrossTraffic(o)
-}
-
-// runCrossTraffic shrinks, runs, and prints one cross-traffic variant.
-func runCrossTraffic(o sourcesync.CrossTrafficOptions) {
-	o.Workers = workers()
-	o.Topologies = shrink(o.Topologies)
-	o.Packets = shrink(o.Packets)
-	o.CrossPackets = shrink(o.CrossPackets)
-	o.Legacy = *legacy
-	res := sourcesync.RunCrossTraffic(o)
-	rateLabel := fmt.Sprintf("%d Mbps", o.RateMbps)
-	if o.AdaptCross {
-		rateLabel = "SampleRate-adapted"
-	}
-	fmt.Printf("%d cross flows x %d packets, %s, model=%s", o.CrossFlows, o.CrossPackets, rateLabel, modelName())
-	if o.CSRangeM > 0 {
-		fmt.Printf(", cs-range=%.0fm width-x%.1f", o.CSRangeM, o.WidthScale)
-	}
-	fmt.Println()
-	fmt.Printf("%10s %12s %12s %12s %12s\n", "fraction", "sp(Mbps)", "sp+load", "ss(Mbps)", "ss+load")
-	n := len(res.SinglePathAloneMbps)
-	for i := 0; i < n; i++ {
-		fmt.Printf("%10.3f %12.3f %12.3f %12.3f %12.3f\n", float64(i+1)/float64(n),
-			res.SinglePathAloneMbps[i], res.SinglePathLoadedMbps[i],
-			res.SourceSyncAloneMbps[i], res.SourceSyncLoadedMbps[i])
-	}
-	fmt.Printf("median retention under load: single-path %.2f, SourceSync %.2f; SrcSync/single under load %.2fx\n",
-		res.SinglePathRetention, res.SourceSyncRetention, res.GainUnderLoad)
-	fmt.Printf("cross-flow hidden-terminal losses: %d\n", res.CrossHiddenLosses)
-	printCorruption(res.CrossRateCorruption)
-}
-
-func overhead() {
-	header("Table (§4.4) — synchronization overhead, 1460 B at 12 Mbps")
-	fmt.Printf("%10s %12s %14s\n", "senders", "overhead(%)", "airtime(us)")
-	for _, r := range sourcesync.RunOverheadTable() {
-		fmt.Printf("%10d %12.2f %14.1f\n", r.Senders, r.OverheadFraction*100, r.FrameAirtimeUs)
-	}
-	fmt.Println("paper: 1.7% for two senders, 2.8% for five")
-}
-
-func detdelay() {
-	header("Premise (§4.2a) — packet detection delay vs SNR")
-	pts := sourcesync.RunDetDelay(*seed+7, []float64{2, 4, 6, 9, 12, 18, 25}, shrink(60), workers())
-	fmt.Printf("%8s %10s %10s %10s %6s %6s\n", "SNR(dB)", "mean(ns)", "std(ns)", "p95(ns)", "det", "miss")
-	for _, p := range pts {
-		fmt.Printf("%8.1f %10.1f %10.1f %10.1f %6d %6d\n", p.SNRdB, p.MeanNs, p.StdNs, p.P95Ns, p.Detected, p.Missed)
-	}
-	fmt.Println("paper (citing Williams et al.): variability on the order of hundreds of ns")
-}
-
-func ablations() {
-	header("Ablation — phase-slope window (3 MHz vs whole band)")
-	sw := sourcesync.RunAblationSlopeWindow(*seed+8, shrink(200), workers())
-	fmt.Printf("windowed RMS %.3f samples, whole-band RMS %.3f samples over %d draws\n",
-		sw.WindowedRMS, sw.WholeBandRMS, sw.Draws)
-
-	header("Ablation — Smart Combiner (STBC) vs naive identical transmission")
-	nc := sourcesync.RunAblationNaiveCombining(*seed+9, shrink(12), workers())
-	fmt.Printf("worst-case effective SNR: STBC %.1f dB, naive %.1f dB (naive total failures: %d)\n",
-		nc.STBCWorstSNRdB, nc.NaiveWorstSNRdB, nc.NaiveFailures)
-
-	header("Ablation — shared pilots vs single phase track")
-	ps := sourcesync.RunAblationPilotSharing(*seed+10, shrink(6), workers())
-	fmt.Printf("EVM with shared pilots %.4f, with naive tracking %.4f\n",
-		ps.SharedPilotsEVM, ps.NaiveTrackEVM)
-
-	header("Ablation — multi-receiver LP vs aligning at one receiver")
-	lp := sourcesync.RunAblationMultiRxLP(*seed+11, shrink(100), 3, workers())
-	fmt.Printf("mean worst-case misalignment: LP %.2f samples, first-rx alignment %.2f samples\n",
-		lp.LPMaxMisalign, lp.FirstRxMisalign)
 }

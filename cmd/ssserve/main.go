@@ -1,0 +1,58 @@
+// Command ssserve is the long-running simulation job service: it accepts
+// experiment jobs over an HTTP/JSON API and runs them on the deterministic
+// engine worker pool, producing output byte-identical to a batch `ssbench`
+// run of the same spec. See docs/ARCHITECTURE.md ("The job service") for
+// the API and the determinism argument.
+//
+// Usage:
+//
+//	ssserve [-addr :8080] [-max-running N] [-queue N] [-timeout 15m] [-cache N]
+//
+// Submit a job and fetch its output:
+//
+//	curl -s -X POST localhost:8080/jobs -d '{"experiment":"fig12","quick":true}'
+//	curl -s localhost:8080/jobs/j1/output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxRunning := flag.Int("max-running", 0, "jobs executing concurrently (0 = one per CPU)")
+	queue := flag.Int("queue", 0, "max jobs queued before submits get 503 (0 = 64)")
+	timeout := flag.Duration("timeout", 0, "default per-job timeout (0 = 15m, -1ns = none)")
+	cache := flag.Int("cache", 0, "completed-output cache entries (0 = 256, negative disables)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := serve.New(serve.Config{
+		MaxRunning:   *maxRunning,
+		MaxQueue:     *queue,
+		JobTimeout:   *timeout,
+		CacheEntries: *cache,
+	})
+	defer s.Close()
+
+	fmt.Fprintf(os.Stderr, "ssserve listening on %s\n", *addr)
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "ssserve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -24,6 +24,10 @@ type Fig12Options struct {
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
+	// Monitor optionally observes the run (trial progress) and lets the
+	// caller cancel it cooperatively; a canceled run's output must be
+	// discarded. Nil is free. See engine.Monitor.
+	Monitor *engine.Monitor
 }
 
 // DefaultFig12Options returns the parameters used by ssbench.
@@ -58,7 +62,7 @@ type fig12Trial struct {
 func RunFig12(o Fig12Options) []Fig12Point {
 	cfg := ProfileWiGLAN()
 	nsToSample := cfg.SampleRateHz / 1e9
-	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers, Monitor: o.Monitor}
 
 	grid := engine.Grid(ec, len(o.SNRsdB), o.Trials, func(pt, trial int, rng *rand.Rand) fig12Trial {
 		sim := fig12Sim(rng, cfg, o.SNRsdB[pt])

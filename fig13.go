@@ -24,6 +24,10 @@ type Fig13Options struct {
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
+	// Monitor optionally observes the run (trial progress) and lets the
+	// caller cancel it cooperatively; a canceled run's output must be
+	// discarded. Nil is free. See engine.Monitor.
+	Monitor *engine.Monitor
 }
 
 // DefaultFig13Options returns the parameters used by ssbench.
@@ -55,7 +59,7 @@ type fig13Trial struct {
 // so both arms parallelize together and remain deterministic.
 func RunFig13(o Fig13Options) []Fig13Point {
 	cfg := ProfileWiGLAN()
-	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers, Monitor: o.Monitor}
 	cpSamples := make([]int, len(o.CPsNs))
 	for i, cpNs := range o.CPsNs {
 		cpSamples[i] = int(cpNs * 1e-9 * cfg.SampleRateHz)

@@ -23,6 +23,10 @@ type Fig14Options struct {
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
+	// Monitor optionally observes the run (trial progress) and lets the
+	// caller cancel it cooperatively; a canceled run's output must be
+	// discarded. Nil is free. See engine.Monitor.
+	Monitor *engine.Monitor
 }
 
 // DefaultFig14Options returns the parameters used by ssbench.
@@ -39,7 +43,7 @@ type Fig14Point struct {
 // ~15 significant taps (117 ns at 128 MHz).
 func RunFig14(o Fig14Options) []Fig14Point {
 	cfg := ProfileWiGLAN()
-	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers, Monitor: o.Monitor}
 	draws := engine.Map(ec, 0, o.Draws, func(d int, rng *rand.Rand) []float64 {
 		m := channel.NewIndoor(rng, cfg.SampleRateHz, 45, 3)
 		tap := make([]float64, o.Taps)
@@ -93,6 +97,10 @@ type Fig15Options struct {
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
+	// Monitor optionally observes the run (trial progress) and lets the
+	// caller cancel it cooperatively; a canceled run's output must be
+	// discarded. Nil is free. See engine.Monitor.
+	Monitor *engine.Monitor
 }
 
 // DefaultFig15Options returns the parameters used by ssbench.
@@ -228,7 +236,7 @@ func RunFig16(o Fig15Options) []Fig16Series {
 // from the placement's PointRNG so every frame of a placement agrees on it.
 func fig15Measure(o Fig15Options) []fig15Sample {
 	cfg := ProfileWiGLAN()
-	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers, Monitor: o.Monitor}
 	type frameRes struct {
 		s  fig15Sample
 		ok bool

@@ -24,6 +24,10 @@ type Fig17Options struct {
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
+	// Monitor optionally observes the run (trial progress) and lets the
+	// caller cancel it cooperatively; a canceled run's output must be
+	// discarded. Nil is free. See engine.Monitor.
+	Monitor *engine.Monitor
 }
 
 // DefaultFig17Options returns the parameters used by ssbench.
@@ -44,7 +48,7 @@ func RunFig17(o Fig17Options) Fig17Result {
 	cfg := Profile80211()
 	env := testbed.Mesh(cfg)
 	m := mac.Default(cfg)
-	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers, Monitor: o.Monitor}
 
 	type plRes struct{ singleBps, jointBps float64 }
 	rows := engine.Map(ec, 0, o.Placements, func(pl int, rng *rand.Rand) plRes {
@@ -113,6 +117,10 @@ type Fig18Options struct {
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
+	// Monitor optionally observes the run (trial progress) and lets the
+	// caller cancel it cooperatively; a canceled run's output must be
+	// discarded. Nil is free. See engine.Monitor.
+	Monitor *engine.Monitor
 }
 
 // DefaultFig18Options returns the parameters used by ssbench.
@@ -155,7 +163,7 @@ func RunFig18(o Fig18Options) Fig18Result {
 		panic(err)
 	}
 	m := mac.Default(cfg)
-	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers, Monitor: o.Monitor}
 
 	type tpRes struct{ spBps, exBps, ssBps float64 }
 	rows := engine.Map(ec, 0, o.Topologies, func(tp int, rng *rand.Rand) tpRes {

@@ -41,6 +41,10 @@ type CellOptions struct {
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
+	// Monitor optionally observes the run (trial progress) and lets the
+	// caller cancel it cooperatively; a canceled run's output must be
+	// discarded. Nil is free. See engine.Monitor.
+	Monitor *engine.Monitor
 }
 
 // DefaultCellOptions returns the parameters used by ssbench: an 8-client,
@@ -80,7 +84,7 @@ func RunCell(o CellOptions) CellExpResult {
 	cfg := Profile80211()
 	env := testbed.Mesh(cfg)
 	m := mac.Default(cfg)
-	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers, Monitor: o.Monitor}
 	var model netsim.InterferenceModel
 	if !o.Legacy {
 		model = netsim.NewRateAware(cfg, modem.StandardRates(), o.Payload)
@@ -213,6 +217,10 @@ type CrossTrafficOptions struct {
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
+	// Monitor optionally observes the run (trial progress) and lets the
+	// caller cancel it cooperatively; a canceled run's output must be
+	// discarded. Nil is free. See engine.Monitor.
+	Monitor *engine.Monitor
 }
 
 // DefaultCrossTrafficOptions returns the parameters used by ssbench:
@@ -281,7 +289,7 @@ func RunCrossTraffic(o CrossTrafficOptions) CrossTrafficResult {
 		panic(err)
 	}
 	m := mac.Default(cfg)
-	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers, Monitor: o.Monitor}
 	var model netsim.InterferenceModel
 	if !o.Legacy {
 		// The cross flows' rate table: the standard rates under AdaptCross,

@@ -47,6 +47,10 @@ type CellSweepOptions struct {
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
+	// Monitor optionally observes the run (trial progress) and lets the
+	// caller cancel it cooperatively; a canceled run's output must be
+	// discarded. Nil is free. See engine.Monitor.
+	Monitor *engine.Monitor
 }
 
 // model returns the interference model the sweep runs: nil (the binary
@@ -290,7 +294,7 @@ func RunCellSweep(o CellSweepOptions) CellSweepResult {
 	env.Width = float64(o.Cells) * o.cellSpacing()
 	m := mac.Default(cfg)
 	model := o.model(cfg)
-	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers, Monitor: o.Monitor}
 
 	rows := engine.Grid(ec, len(o.ClientsPer), o.Placements, func(pt, pl int, rng *rand.Rand) sweepPlacement {
 		return runPlacement(rng, env, m, o, model, o.ClientsPer[pt])
@@ -322,7 +326,7 @@ func RunCellCountSweep(o CellSweepOptions, cellCounts []int, clientsPer int) []C
 	cfg := Profile80211()
 	m := mac.Default(cfg)
 	model := o.model(cfg)
-	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers, Monitor: o.Monitor}
 
 	rows := engine.Grid(ec, len(cellCounts), o.Placements, func(pt, pl int, rng *rand.Rand) sweepPlacement {
 		oc := o
@@ -360,7 +364,7 @@ func RunCSRangeSweep(o CellSweepOptions, csRanges []float64, clientsPer int) []C
 	cfg := Profile80211()
 	m := mac.Default(cfg)
 	model := o.model(cfg)
-	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers, Monitor: o.Monitor}
 
 	rows := engine.Grid(ec, len(csRanges), o.Placements, func(pt, pl int, rng *rand.Rand) sweepPlacement {
 		oc := o

@@ -44,6 +44,10 @@ type MetroOptions struct {
 	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
 	// 1 runs serially. Results are identical either way.
 	Workers int
+	// Monitor optionally observes the run (trial progress) and lets the
+	// caller cancel it cooperatively; a canceled run's output must be
+	// discarded. Nil is free. See engine.Monitor.
+	Monitor *engine.Monitor
 }
 
 // DefaultMetroOptions returns the parameters used by ssbench: a 10x10-cell
@@ -183,7 +187,7 @@ func RunMetro(o MetroOptions) MetroResult {
 	env.Height = float64(o.CellsY) * spacing
 	m := mac.Default(cfg)
 	model := netsim.NewRateAware(cfg, modem.StandardRates(), o.Payload)
-	ec := engine.Config{Seed: o.Seed, Workers: o.Workers}
+	ec := engine.Config{Seed: o.Seed, Workers: o.Workers, Monitor: o.Monitor}
 
 	rows := engine.Grid(ec, len(o.ClientsPer), o.Placements, func(pt, pl int, rng *rand.Rand) sweepPlacement {
 		cell := buildMetro(rng, env, m, o, model, o.ClientsPer[pt])

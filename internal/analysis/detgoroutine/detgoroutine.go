@@ -1,14 +1,19 @@
-// Package detgoroutine confines concurrency to internal/engine, the one
-// package sanctioned to spawn goroutines (its order-preserving worker pool
-// is what makes parallel trials reproducible). Everywhere else, a `go`
-// statement, a `select`, or a sync/sync.atomic primitive is a latent
-// scheduling dependency: even when the code is race-free, completion order
-// can leak into float sums, slice ordering, or RNG draw order and break
-// the byte-identical-output contract.
+// Package detgoroutine confines concurrency to the two sanctioned
+// packages: internal/engine, whose order-preserving worker pool is what
+// makes parallel trials reproducible, and internal/serve, the job-service
+// layer whose goroutines carry whole jobs (queue consumers, render
+// spawns, timeout selects) and never touch simulation state — a job's
+// output bytes come out of the engine byte-identical regardless of how
+// the service schedules it. Everywhere else, a `go` statement, a
+// `select`, or a sync/sync.atomic primitive is a latent scheduling
+// dependency: even when the code is race-free, completion order can leak
+// into float sums, slice ordering, or RNG draw order and break the
+// byte-identical-output contract.
 //
-// The handful of deliberate caches outside engine (dsp's FFT plan table,
-// modem's constellation cache) are value-deterministic memoizations and
-// carry //sslint:allow detgoroutine directives explaining why.
+// The handful of deliberate caches outside the sanctioned packages (dsp's
+// FFT plan table, modem's constellation cache, netsim's decode-threshold
+// memo) are value-deterministic memoizations and carry //sslint:allow
+// detgoroutine directives explaining why.
 package detgoroutine
 
 import (
@@ -22,15 +27,21 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "detgoroutine",
 	Doc: "flag go statements, select statements, and sync/sync.atomic usage outside " +
-		"internal/engine, the single sanctioned concurrency site; scheduling order " +
-		"anywhere else can leak into experiment output",
+		"internal/engine and internal/serve, the sanctioned concurrency sites; " +
+		"scheduling order anywhere else can leak into experiment output",
 	Run: run,
 }
 
-// sanctioned reports whether pkgPath is the concurrency-sanctioned engine
-// package (module-qualified in the real repo, bare in test fixtures).
+// sanctioned reports whether pkgPath is one of the concurrency-sanctioned
+// packages (module-qualified in the real repo, bare in test fixtures):
+// internal/engine (the worker pool) and internal/serve (the job service).
 func sanctioned(pkgPath string) bool {
-	return pkgPath == "internal/engine" || strings.HasSuffix(pkgPath, "/internal/engine")
+	for _, p := range []string{"internal/engine", "internal/serve"} {
+		if pkgPath == p || strings.HasSuffix(pkgPath, "/"+p) {
+			return true
+		}
+	}
+	return false
 }
 
 func run(pass *framework.Pass) error {
@@ -42,17 +53,17 @@ func run(pass *framework.Pass) error {
 			switch n := n.(type) {
 			case *ast.GoStmt:
 				pass.Reportf(n.Pos(),
-					"go statement outside internal/engine: goroutine scheduling can leak into experiment output; route parallelism through the engine worker pool")
+					"go statement outside internal/engine and internal/serve: goroutine scheduling can leak into experiment output; route parallelism through the engine worker pool")
 			case *ast.SelectStmt:
 				pass.Reportf(n.Pos(),
-					"select statement outside internal/engine: channel readiness order is scheduler-dependent")
+					"select statement outside internal/engine and internal/serve: channel readiness order is scheduler-dependent")
 			case *ast.SelectorExpr:
 				if id, isIdent := n.X.(*ast.Ident); isIdent {
 					if pn, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
 						switch pn.Imported().Path() {
 						case "sync", "sync/atomic":
 							pass.Reportf(n.Pos(),
-								"sync primitive (%s.%s) outside internal/engine, the single sanctioned concurrency site", pn.Imported().Name(), n.Sel.Name)
+								"sync primitive (%s.%s) outside internal/engine and internal/serve, the sanctioned concurrency sites", pn.Imported().Name(), n.Sel.Name)
 						}
 					}
 				}

@@ -15,3 +15,7 @@ func TestDetgoroutine(t *testing.T) {
 func TestEnginePackageIsSanctioned(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "src", "internal", "engine"), detgoroutine.Analyzer)
 }
+
+func TestServePackageIsSanctioned(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "internal", "serve"), detgoroutine.Analyzer)
+}

@@ -1,0 +1,30 @@
+// Fixture: internal/serve is the job-service concurrency site, sanctioned
+// alongside internal/engine, so the detgoroutine analyzer must stay
+// silent here despite goroutines, sync primitives, and a select.
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+func runJob(render func() []byte, timeout time.Duration) ([]byte, bool) {
+	var mu sync.Mutex
+	var out []byte
+	ch := make(chan struct{})
+	go func() {
+		b := render()
+		mu.Lock()
+		out = b
+		mu.Unlock()
+		close(ch)
+	}()
+	select {
+	case <-ch:
+		mu.Lock()
+		defer mu.Unlock()
+		return out, true
+	case <-time.After(timeout):
+		return nil, false
+	}
+}

@@ -38,6 +38,41 @@ import (
 type Config struct {
 	Seed    int64
 	Workers int // <= 0: GOMAXPROCS, 1: serial, n: exactly n workers
+	// Monitor, when non-nil, observes the run: it accumulates trial
+	// progress across every Map/Grid call that carries it and lets an
+	// external owner (e.g. a ssserve job) request cooperative
+	// cancellation. A nil Monitor costs nothing.
+	Monitor *Monitor
+}
+
+// Monitor is a shared observation/cancellation handle for one experiment
+// run. The engine adds every scheduled trial to Total and ticks Done as
+// trials complete; Cancel makes workers stop picking up new trials. A
+// canceled run returns partial results (unrun trials stay zero values), so
+// the caller that canceled must discard the run's output — partial output
+// is outside the determinism contract. A completed, never-canceled run is
+// unaffected by the Monitor: progress counters are observability only and
+// never feed back into trial scheduling or RNG derivation.
+type Monitor struct {
+	total atomic.Int64
+	done  atomic.Int64
+	stop  atomic.Bool
+}
+
+// Cancel asks every engine run carrying this Monitor to stop scheduling
+// new trials. In-flight trials run to completion; Cancel never blocks.
+func (m *Monitor) Cancel() { m.stop.Store(true) }
+
+// Canceled reports whether Cancel has been called.
+func (m *Monitor) Canceled() bool { return m.stop.Load() }
+
+// Progress returns trials completed and trials scheduled so far. Total
+// grows as an experiment's successive Map/Grid stages start, so done/total
+// is a monotone underestimate of overall completion until the last stage.
+func (m *Monitor) Progress() (done, total int64) {
+	// Read done first: total only grows, so a racing stage start can make
+	// the ratio conservative but never above 1.
+	return m.done.Load(), m.total.Load()
 }
 
 // WorkerCount resolves a Workers setting to the actual pool size: values
@@ -88,17 +123,28 @@ func PointRNG(seed int64, point int) *rand.Rand {
 
 // run executes fn(0..n-1) across the given number of workers. Tasks are
 // handed out through an atomic counter, so long trials do not serialize
-// behind a fixed pre-partition.
-func run(workers, n int, fn func(i int)) {
+// behind a fixed pre-partition. A non-nil Monitor sees every scheduled
+// trial in Total and every completed one in Done, and its Cancel stops
+// further pickups (already-started trials finish).
+func run(workers, n int, m *Monitor, fn func(i int)) {
 	if n <= 0 {
 		return
+	}
+	if m != nil {
+		m.total.Add(int64(n))
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if m != nil && m.Canceled() {
+				return
+			}
 			fn(i)
+			if m != nil {
+				m.done.Add(1)
+			}
 		}
 		return
 	}
@@ -109,11 +155,17 @@ func run(workers, n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if m != nil && m.Canceled() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				fn(i)
+				if m != nil {
+					m.done.Add(1)
+				}
 			}
 		}()
 	}
@@ -125,7 +177,7 @@ func run(workers, n int, fn func(i int)) {
 // point, trial), so the output is identical for every worker count.
 func Map[T any](c Config, point, n int, fn func(trial int, rng *rand.Rand) T) []T {
 	out := make([]T, n)
-	run(c.workerCount(), n, func(i int) {
+	run(c.workerCount(), n, c.Monitor, func(i int) {
 		out[i] = fn(i, TrialRNG(c.Seed, point, i))
 	})
 	return out
@@ -139,7 +191,7 @@ func Grid[T any](c Config, points, trials int, fn func(point, trial int, rng *ra
 	for p := range out {
 		out[p] = make([]T, trials)
 	}
-	run(c.workerCount(), points*trials, func(i int) {
+	run(c.workerCount(), points*trials, c.Monitor, func(i int) {
 		p, t := i/trials, i%trials
 		out[p][t] = fn(p, t, TrialRNG(c.Seed, p, t))
 	})

@@ -3,6 +3,7 @@ package engine
 import (
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"testing"
 )
 
@@ -70,6 +71,62 @@ func TestGridShapeAndDeterminism(t *testing.T) {
 					t.Fatalf("workers=%d: [%d][%d] differs", workers, p, tr)
 				}
 			}
+		}
+	}
+}
+
+func TestMonitorProgressAndIdenticalResults(t *testing.T) {
+	fn := func(trial int, rng *rand.Rand) float64 { return float64(trial) + rng.Float64() }
+	want := Map(Config{Seed: 5, Workers: 1}, 2, 40, fn)
+	for _, workers := range []int{1, 4} {
+		m := &Monitor{}
+		got := Map(Config{Seed: 5, Workers: workers, Monitor: m}, 2, 40, fn)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: monitored result %d differs from unmonitored", workers, i)
+			}
+		}
+		done, total := m.Progress()
+		if done != 40 || total != 40 {
+			t.Fatalf("workers=%d: progress %d/%d, want 40/40", workers, done, total)
+		}
+	}
+	// Totals accumulate across successive stages sharing one Monitor.
+	m := &Monitor{}
+	Map(Config{Seed: 5, Monitor: m}, 0, 10, fn)
+	Map(Config{Seed: 5, Monitor: m}, 1, 15, fn)
+	if done, total := m.Progress(); done != 25 || total != 25 {
+		t.Fatalf("two-stage progress %d/%d, want 25/25", done, total)
+	}
+}
+
+func TestMonitorCancelStopsScheduling(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		m := &Monitor{}
+		ran := make([]atomic.Bool, 200)
+		Map(Config{Seed: 5, Workers: workers, Monitor: m}, 0, len(ran), func(trial int, rng *rand.Rand) int {
+			ran[trial].Store(true)
+			if trial == 3 {
+				m.Cancel()
+			}
+			return trial
+		})
+		if !m.Canceled() {
+			t.Fatalf("workers=%d: monitor should report canceled", workers)
+		}
+		count := 0
+		for i := range ran {
+			if ran[i].Load() {
+				count++
+			}
+		}
+		// In-flight trials may finish after Cancel, but the bulk of the
+		// 200 must never have been scheduled.
+		if count > 20+workers {
+			t.Fatalf("workers=%d: %d trials ran after an early cancel", workers, count)
+		}
+		if done, total := m.Progress(); total != 200 || done < 1 || done > int64(count) {
+			t.Fatalf("workers=%d: progress %d/%d after cancel (%d ran)", workers, done, total, count)
 		}
 	}
 }

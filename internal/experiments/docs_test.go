@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The docs-freshness contract: docs/EXPERIMENTS.md documents every
+// experiment this package registers. Registering a new experiment without
+// documenting it (or renaming one and leaving the doc stale) fails here —
+// and in CI, which runs this test as a dedicated step. internal/serve has
+// the analogous gate for the daemon's HTTP endpoints.
+func TestExperimentsDocCoversEveryExperiment(t *testing.T) {
+	data, err := os.ReadFile("../../docs/EXPERIMENTS.md")
+	if err != nil {
+		t.Fatalf("docs/EXPERIMENTS.md must exist: %v", err)
+	}
+	doc := string(data)
+	for _, name := range Names() {
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("docs/EXPERIMENTS.md does not mention experiment %q (expected a `%s` reference)", name, name)
+		}
+	}
+}
+
+// names feeds the `all` loop, ssbench's usage line, and the docs check, so
+// each entry must be well-formed: unique, lower-case (Run lower-cases its
+// argument before the switch), and space-free.
+func TestExperimentNamesAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range Names() {
+		if seen[name] {
+			t.Errorf("experiment %q registered twice", name)
+		}
+		seen[name] = true
+		if name != strings.ToLower(name) || strings.ContainsAny(name, " \t") {
+			t.Errorf("experiment %q must be lower-case with no spaces (Run lower-cases its argument)", name)
+		}
+	}
+}
+
+// Every registered name must actually dispatch: Run on an unknown name is
+// an error, and IsName must agree with the registry.
+func TestIsNameMatchesRegistry(t *testing.T) {
+	for _, name := range Names() {
+		if !IsName(name) {
+			t.Errorf("IsName(%q) = false for a registered experiment", name)
+		}
+	}
+	if !IsName("all") || !IsName("ALL") {
+		t.Error("IsName must accept the pseudo-experiment \"all\" case-insensitively")
+	}
+	if IsName("no-such-experiment") {
+		t.Error("IsName accepted an unknown name")
+	}
+}

@@ -1,0 +1,600 @@
+// Package experiments renders every registered experiment — the tables
+// and figures of the SourceSync paper's evaluation (§8) plus the repo's
+// scale extensions — to an io.Writer.
+//
+// It is the single rendering path shared by the ssbench CLI (stdout) and
+// the ssserve daemon (per-job output buffers), which is what makes the
+// service's job outputs byte-identical to batch ssbench runs by
+// construction: both call Run with the same Params and diff-able bytes
+// come out. The golden-output harness (golden_test.go) pins those bytes
+// against committed files, and the determinism contract
+// (docs/ARCHITECTURE.md) guarantees they are independent of Params.Workers
+// and of whatever else the process is doing concurrently.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	sourcesync "repro"
+	"repro/internal/engine"
+	"repro/internal/modem"
+	"repro/internal/netsim"
+)
+
+// names lists every registered experiment in the order "all" runs them.
+// docs_test.go checks docs/EXPERIMENTS.md documents each one, so the
+// list, the run switch, and the docs cannot drift apart silently.
+var names = []string{
+	"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+	"cell", "cellsweep", "metro", "crosstraffic", "crosstraffic-spatial",
+	"overhead", "detdelay", "ablations",
+}
+
+// Names returns the registered experiment names in "all" order. The
+// returned slice is a copy; callers may keep or mutate it.
+func Names() []string {
+	return append([]string(nil), names...)
+}
+
+// IsName reports whether name (already lower-cased or not) is a registered
+// experiment or the pseudo-experiment "all".
+func IsName(name string) bool {
+	name = strings.ToLower(name)
+	if name == "all" {
+		return true
+	}
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrCanceled is returned by Run when Params.Monitor was canceled while
+// the experiment ran. Whatever was written to the writer before the
+// cancellation took effect is partial output and must be discarded — it is
+// outside the determinism contract.
+var ErrCanceled = errors.New("experiment run canceled")
+
+// Params configures one Run. The zero value is not runnable as-is for
+// cellsweep (it needs sweep points); use DefaultParams as the base, which
+// mirrors ssbench's flag defaults.
+type Params struct {
+	// Seed is the base random seed (ssbench -seed). Each experiment
+	// derives its own offset from it, exactly as ssbench always has.
+	Seed int64
+	// Quick shrinks the workloads ~10x (ssbench -quick).
+	Quick bool
+	// Workers bounds the engine's parallelism: 0 means one worker per
+	// CPU, 1 runs serially. Output bytes are identical either way.
+	Workers int
+	// Cells is cellsweep's capacity-vs-cell-count sweep (ssbench -cells).
+	Cells []int
+	// CSRanges is cellsweep's carrier-sense sweep in meters (ssbench -cs).
+	CSRanges []float64
+	// WindowSec switches cell/cellsweep/metro to fixed-time-window
+	// saturation mode (ssbench -window); 0 keeps backlog-drain mode.
+	WindowSec float64
+	// Legacy selects the pre-model interference behavior (ssbench -legacy).
+	Legacy bool
+	// Monitor optionally observes trial progress and cancels the run
+	// cooperatively; see engine.Monitor and ErrCanceled.
+	Monitor *engine.Monitor
+}
+
+// DefaultParams mirrors ssbench's flag defaults: seed 1, full size, one
+// worker per CPU, the standard cellsweep sweep points.
+func DefaultParams() Params {
+	return Params{
+		Seed:     1,
+		Cells:    []int{1, 2, 3},
+		CSRanges: []float64{20, 30, 45},
+	}
+}
+
+// normalized fills zero-value sweep lists with the defaults, so callers
+// (e.g. a service job with an empty spec) get ssbench's behavior.
+func (p Params) normalized() Params {
+	d := DefaultParams()
+	if len(p.Cells) == 0 {
+		p.Cells = d.Cells
+	}
+	if len(p.CSRanges) == 0 {
+		p.CSRanges = d.CSRanges
+	}
+	return p
+}
+
+// Validate reports whether p can run, after default-filling. Exported for
+// callers that want submit-time errors before any output is produced
+// (ssserve rejects a bad job spec with 400 instead of failing the job).
+func (p Params) Validate() error { return p.normalized().validate() }
+
+// validate rejects parameter values no experiment can run with.
+func (p Params) validate() error {
+	for _, n := range p.Cells {
+		if n < 1 {
+			return fmt.Errorf("cell count %d < 1", n)
+		}
+	}
+	for _, v := range p.CSRanges {
+		if v <= 0 {
+			return fmt.Errorf("carrier-sense range %g <= 0", v)
+		}
+	}
+	if p.WindowSec < 0 {
+		return fmt.Errorf("window %g < 0", p.WindowSec)
+	}
+	return nil
+}
+
+// Run renders one experiment (or "all") to w. The bytes written are
+// exactly what `ssbench <name>` prints to stdout for the same Params.
+// Unknown names and invalid Params return an error before any output.
+// When p.Monitor is canceled mid-run, Run stops at the next check point
+// and returns ErrCanceled; the caller must discard w's contents.
+func Run(w io.Writer, name string, p Params) error {
+	name = strings.ToLower(name)
+	p = p.normalized()
+	if err := p.validate(); err != nil {
+		return err
+	}
+	if name == "all" {
+		for _, e := range names {
+			if err := Run(w, e, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	r := &runner{w: w, p: p}
+	switch name {
+	case "fig12":
+		r.fig12()
+	case "fig13":
+		r.fig13()
+	case "fig14":
+		r.fig14()
+	case "fig15":
+		r.fig15()
+	case "fig16":
+		r.fig16()
+	case "fig17":
+		r.fig17()
+	case "fig18":
+		r.fig18(6)
+		r.fig18(12)
+	case "cell":
+		r.cell()
+	case "cellsweep":
+		r.cellsweep()
+	case "metro":
+		r.metro()
+	case "crosstraffic":
+		r.crosstraffic()
+	case "crosstraffic-spatial":
+		r.crosstrafficSpatial()
+	case "overhead":
+		r.overhead()
+	case "detdelay":
+		r.detdelay()
+	case "ablations":
+		r.ablations()
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	if r.canceled() {
+		return ErrCanceled
+	}
+	return nil
+}
+
+// runner renders experiments with one Params set to one writer.
+type runner struct {
+	w io.Writer
+	p Params
+}
+
+func (r *runner) printf(format string, args ...any) {
+	fmt.Fprintf(r.w, format, args...)
+}
+
+func (r *runner) println(args ...any) {
+	fmt.Fprintln(r.w, args...)
+}
+
+func (r *runner) canceled() bool {
+	return r.p.Monitor != nil && r.p.Monitor.Canceled()
+}
+
+func (r *runner) shrink(n int) int {
+	if r.p.Quick && n > 4 {
+		return n / 4
+	}
+	return n
+}
+
+func (r *runner) header(title string) {
+	r.printf("\n=== %s ===\n", title)
+}
+
+func (r *runner) fig12() {
+	r.header("Figure 12 — 95th percentile synchronization error vs SNR (WiGLAN profile)")
+	o := sourcesync.DefaultFig12Options()
+	o.Seed = r.p.Seed
+	o.Workers = r.p.Workers
+	o.Monitor = r.p.Monitor
+	o.Trials = r.shrink(o.Trials)
+	r.printf("%8s %12s %12s %8s %8s\n", "SNR(dB)", "p50(ns)", "p95(ns)", "usable", "dropped")
+	for _, p := range sourcesync.RunFig12(o) {
+		r.printf("%8.1f %12.2f %12.2f %8d %8d\n", p.SNRdB, p.P50Ns, p.P95Ns, p.Usable, p.Dropped)
+	}
+	r.println("paper: <= 20 ns across the operational SNR range")
+}
+
+func (r *runner) fig13() {
+	r.header("Figure 13 — composite SNR vs cyclic prefix: SourceSync vs unsynchronized baseline")
+	o := sourcesync.DefaultFig13Options()
+	o.Seed = r.p.Seed + 1
+	o.Workers = r.p.Workers
+	o.Monitor = r.p.Monitor
+	o.FramesPerCP = r.shrink(o.FramesPerCP * 2)
+	r.printf("%10s %10s %14s %14s\n", "CP(ns)", "CP(smp)", "SourceSync(dB)", "Baseline(dB)")
+	for _, p := range sourcesync.RunFig13(o) {
+		r.printf("%10.0f %10d %14.2f %14.2f\n", p.CPNs, p.CPSamples, p.SourceSyncSNR, p.BaselineSNR)
+	}
+	r.println("paper: SourceSync reaches ~95% of peak SNR at 117 ns; baseline needs ~469 ns")
+}
+
+func (r *runner) fig14() {
+	r.header("Figure 14 — delay spread of a single sender (|h|^2 vs tap index)")
+	o := sourcesync.DefaultFig14Options()
+	o.Seed = r.p.Seed + 2
+	o.Workers = r.p.Workers
+	o.Monitor = r.p.Monitor
+	pts := sourcesync.RunFig14(o)
+	r.printf("%6s %10s\n", "tap", "|h|^2")
+	for _, p := range pts {
+		if p.TapIdx%2 == 0 { // thin the printout
+			r.printf("%6d %10.4f\n", p.TapIdx, p.Power)
+		}
+	}
+	r.printf("significant taps (>=1%% of peak): %d (paper: ~15)\n", sourcesync.SignificantTaps(pts, 0.01))
+}
+
+func (r *runner) fig15() {
+	r.header("Figure 15 — power gains: average SNR, single sender vs SourceSync")
+	o := sourcesync.DefaultFig15Options()
+	o.Seed = r.p.Seed + 3
+	o.Workers = r.p.Workers
+	o.Monitor = r.p.Monitor
+	o.Placements = r.shrink(o.Placements)
+	r.printf("%8s %14s %14s %10s %6s\n", "regime", "single(dB)", "SourceSync(dB)", "gain(dB)", "n")
+	for _, res := range sourcesync.RunFig15(o) {
+		r.printf("%8s %14.2f %14.2f %10.2f %6d\n", res.Regime, res.SingleSNRdB, res.JointSNRdB, res.GainDB, res.Measurements)
+	}
+	r.println("paper: 2-3 dB gain in every regime")
+}
+
+func (r *runner) fig16() {
+	r.header("Figure 16 — per-subcarrier SNR profiles (frequency diversity)")
+	o := sourcesync.DefaultFig15Options()
+	o.Seed = r.p.Seed + 4
+	o.Workers = r.p.Workers
+	o.Monitor = r.p.Monitor
+	o.Placements = r.shrink(o.Placements)
+	for _, s := range sourcesync.RunFig16(o) {
+		r.printf("\n[%s SNR regime]\n%10s %10s %10s %10s\n", s.Regime, "f(MHz)", "snd1(dB)", "snd2(dB)", "joint(dB)")
+		for i := range s.FreqMHz {
+			r.printf("%10.1f %10.2f %10.2f %10.2f\n", s.FreqMHz[i], s.Sender1[i], s.Sender2[i], s.Joint[i])
+		}
+		r.printf("flatness (std dev dB): sender1 %.2f, sender2 %.2f, joint %.2f\n",
+			s.Flatness.Sender1, s.Flatness.Sender2, s.Flatness.Joint)
+	}
+	r.println("\npaper: the joint profile is flatter than either sender's")
+}
+
+func (r *runner) fig17() {
+	r.header("Figure 17 — last-hop throughput CDF: best single AP vs SourceSync (2 APs)")
+	o := sourcesync.DefaultFig17Options()
+	o.Seed = r.p.Seed + 5
+	o.Workers = r.p.Workers
+	o.Monitor = r.p.Monitor
+	o.Placements = r.shrink(o.Placements)
+	o.Packets = r.shrink(o.Packets)
+	res := sourcesync.RunFig17(o)
+	r.printf("%10s %14s %14s\n", "fraction", "single(Mbps)", "joint(Mbps)")
+	n := len(res.SingleMbps)
+	for i := 0; i < n; i++ {
+		r.printf("%10.3f %14.2f %14.2f\n", float64(i+1)/float64(n), res.SingleMbps[i], res.JointMbps[i])
+	}
+	r.printf("median gain: %.2fx (paper: 1.57x)\n", res.MedianGain)
+}
+
+func (r *runner) fig18(mbps int) {
+	r.header(fmt.Sprintf("Figure 18 — opportunistic routing throughput CDF at %d Mbps", mbps))
+	o := sourcesync.DefaultFig18Options(mbps)
+	o.Seed = r.p.Seed + 6
+	o.Workers = r.p.Workers
+	o.Monitor = r.p.Monitor
+	o.Topologies = r.shrink(o.Topologies)
+	o.Packets = r.shrink(o.Packets)
+	res := sourcesync.RunFig18(o)
+	r.printf("%10s %14s %12s %18s\n", "fraction", "single(Mbps)", "ExOR(Mbps)", "ExOR+SrcSync(Mbps)")
+	n := len(res.SinglePathMbps)
+	for i := 0; i < n; i++ {
+		r.printf("%10.3f %14.3f %12.3f %18.3f\n", float64(i+1)/float64(n),
+			res.SinglePathMbps[i], res.ExORMbps[i], res.SourceSyncMbps[i])
+	}
+	r.printf("median gains: ExOR/single %.2fx, SrcSync/ExOR %.2fx, SrcSync/single %.2fx\n",
+		res.GainExOROverSP, res.GainSSOverExOR, res.GainSSOverSP)
+	r.println("paper: ExOR 1.26-1.4x over single path; SourceSync 1.35-1.45x over ExOR; 1.7-2x overall")
+}
+
+// modelName labels the interference pricing Params.Legacy selects. The
+// legacy behavior differs per experiment — cellsweep keeps its binary
+// CaptureDB gate, while cell and the crosstraffic variants historically
+// ran with no interference model — so the label stays generic.
+func (r *runner) modelName() string {
+	if r.p.Legacy {
+		return "legacy"
+	}
+	return "rate-aware"
+}
+
+// printCorruption renders the interference model's per-rate outcome table:
+// one row per SampleRate rate index that saw interference, with the mean
+// decode margin of its interfered attempts.
+func (r *runner) printCorruption(rc []netsim.RateCorruption) {
+	total := 0
+	for _, c := range rc {
+		total += c.Interfered
+	}
+	if total == 0 {
+		r.println("per-rate interference outcomes: none (no attempt overlapped with a model engaged)")
+		return
+	}
+	cfg := sourcesync.Profile80211()
+	rates := modem.StandardRates()
+	r.println("per-rate interference outcomes:")
+	r.printf("%12s %11s %10s %9s %11s\n", "rate", "interfered", "corrupted", "degraded", "margin(dB)")
+	for i, c := range rc {
+		if c.Interfered == 0 {
+			continue
+		}
+		label := fmt.Sprintf("idx %d", i)
+		if i < len(rates) {
+			label = fmt.Sprintf("%.0f Mbps", rates[i].BitRate(cfg)/1e6)
+		}
+		r.printf("%12s %11d %10d %9d %11.2f\n",
+			label, c.Interfered, c.Corrupted, c.Degraded, c.MarginDB/float64(c.Interfered))
+	}
+}
+
+func (r *runner) cell() {
+	r.header("Cell — multi-client WLAN aggregate throughput: best single AP vs SourceSync")
+	o := sourcesync.DefaultCellOptions()
+	o.Seed = r.p.Seed + 8
+	o.Workers = r.p.Workers
+	o.Monitor = r.p.Monitor
+	o.Placements = r.shrink(o.Placements)
+	o.Packets = r.shrink(o.Packets)
+	o.Legacy = r.p.Legacy
+	o.WindowSec = r.p.WindowSec
+	res := sourcesync.RunCell(o)
+	r.printf("clients=%d APs=%d packets/client=%d model=%s", o.Clients, o.APs, o.Packets, r.modelName())
+	if o.WindowSec > 0 {
+		r.printf(" window=%.2fs", o.WindowSec)
+	}
+	r.println()
+	r.printf("%10s %14s %14s\n", "fraction", "single(Mbps)", "joint(Mbps)")
+	n := len(res.SingleAggMbps)
+	for i := 0; i < n; i++ {
+		r.printf("%10.3f %14.2f %14.2f\n", float64(i+1)/float64(n), res.SingleAggMbps[i], res.JointAggMbps[i])
+	}
+	r.printf("median aggregate gain: %.2fx; per acquisition: collisions %.3f, captures %.3f\n",
+		res.MedianGain, res.MeanCollisionRate, res.MeanCaptureRate)
+	r.printCorruption(res.RateCorruption)
+}
+
+func (r *runner) cellsweep() {
+	r.header("Cellsweep — saturation throughput vs clients per cell (multi-cell spatial reuse)")
+	o := sourcesync.DefaultCellSweepOptions()
+	o.Seed = r.p.Seed + 10
+	o.Workers = r.p.Workers
+	o.Monitor = r.p.Monitor
+	o.Placements = r.shrink(o.Placements)
+	o.Packets = r.shrink(o.Packets)
+	o.Legacy = r.p.Legacy
+	o.WindowSec = r.p.WindowSec
+	res := sourcesync.RunCellSweep(o)
+	r.printf("cells=%d aps/cell=%d packets/client=%d cs-range=%.0fm model=%s", o.Cells, o.APsPerCell, o.Packets, o.CSRangeM, r.modelName())
+	if o.WindowSec > 0 {
+		r.printf(" window=%.2fs", o.WindowSec)
+	}
+	r.println()
+	rows := make([]sweepRow, len(res.Points))
+	for i, p := range res.Points {
+		rows[i] = sweepRow{fmt.Sprintf("%d", p.ClientsPerCell), p.SweepStats}
+	}
+	r.printSweepTable("clients", rows)
+	r.println("utilization above 1 = cells beyond carrier-sense range carrying frames concurrently")
+	if last := len(res.Points) - 1; last >= 0 {
+		r.printCorruption(res.Points[last].RateCorruption)
+	}
+	if r.canceled() {
+		return
+	}
+
+	clientsPer := r.shrink(4)
+	pts := sourcesync.RunCellCountSweep(o, r.p.Cells, clientsPer)
+	r.printf("\ncapacity vs cell count (clients/cell=%d):\n", clientsPer)
+	rows = make([]sweepRow, len(pts))
+	for i, p := range pts {
+		rows[i] = sweepRow{fmt.Sprintf("%d", p.Cells), p.SweepStats}
+	}
+	r.printSweepTable("cells", rows)
+	r.println("capacity should scale near-linearly with cell count (AirSync-style spatial reuse)")
+	if r.canceled() {
+		return
+	}
+
+	csPts := sourcesync.RunCSRangeSweep(o, r.p.CSRanges, clientsPer)
+	r.printf("\ncapacity vs carrier-sense range (cells=%d clients/cell=%d):\n", o.Cells, clientsPer)
+	rows = make([]sweepRow, len(csPts))
+	for i, p := range csPts {
+		rows[i] = sweepRow{fmt.Sprintf("%.0f", p.CSRangeM), p.SweepStats}
+	}
+	r.printSweepTable("cs(m)", rows)
+	r.println("shorter carrier sense = denser reuse but more hidden terminals; the model prices the tradeoff")
+}
+
+// sweepRow is one rendered cellsweep table row: the swept value plus the
+// shared statistics.
+type sweepRow struct {
+	key   string
+	stats sourcesync.SweepStats
+}
+
+// printSweepTable renders one of cellsweep's three tables: the swept
+// column under keyHeader, then the shared statistics columns.
+func (r *runner) printSweepTable(keyHeader string, rows []sweepRow) {
+	r.printf("%10s %14s %14s %8s %8s %8s %8s %8s\n", keyHeader, "single(Mbps)", "joint(Mbps)", "gain", "collis", "hidden", "capture", "util")
+	for _, row := range rows {
+		s := row.stats
+		r.printf("%10s %14.2f %14.2f %7.2fx %8.3f %8.3f %8.3f %8.2f\n",
+			row.key, s.SingleAggMbps, s.JointAggMbps, s.MedianGain, s.CollisionRate, s.HiddenRate, s.CaptureRate, s.MeanUtilization)
+	}
+}
+
+func (r *runner) metro() {
+	r.header("Metro — city-scale capacity map by client density: best single AP vs SourceSync")
+	o := sourcesync.DefaultMetroOptions()
+	o.Seed = r.p.Seed + 16
+	o.Workers = r.p.Workers
+	o.Monitor = r.p.Monitor
+	o.WindowSec = r.p.WindowSec
+	if r.p.Quick {
+		// A quick city: 16 cells and light density, or the metro grid
+		// dwarfs every other quick experiment combined.
+		o.CellsX, o.CellsY = 4, 4
+		o.ClientsPer = []int{2, 4}
+		o.Placements = 2
+	}
+	o.Packets = r.shrink(o.Packets)
+	res := sourcesync.RunMetro(o)
+	r.printf("cells=%dx%d aps/cell=%d packets/client=%d cs-range=%.0fm ix-range=%.0fm model=rate-aware",
+		o.CellsX, o.CellsY, o.APsPerCell, o.Packets, o.CSRangeM, o.InterferenceRangeM)
+	if o.WindowSec > 0 {
+		r.printf(" window=%.2fs", o.WindowSec)
+	}
+	r.println()
+	rows := make([]sweepRow, len(res.Points))
+	for i, p := range res.Points {
+		rows[i] = sweepRow{fmt.Sprintf("%d (%d)", p.ClientsPerCell, p.Clients), p.SweepStats}
+	}
+	r.printSweepTable("cl (flows)", rows)
+	r.println("capacity should grow with density until interference bites; joint service holds its gain city-wide")
+	if last := len(res.Points) - 1; last >= 0 {
+		r.printCorruption(res.Points[last].RateCorruption)
+	}
+}
+
+func (r *runner) crosstraffic() {
+	r.header("Cross-traffic — routed mesh flow contending with relay-to-relay flows")
+	o := sourcesync.DefaultCrossTrafficOptions()
+	o.Seed = r.p.Seed + 9
+	r.runCrossTraffic(o)
+}
+
+func (r *runner) crosstrafficSpatial() {
+	r.header("Cross-traffic (spatial mesh) — cross flows in separate cells: reuse + hidden terminals on the routing side")
+	o := sourcesync.SpatialCrossTrafficOptions()
+	o.Seed = r.p.Seed + 11
+	r.runCrossTraffic(o)
+}
+
+// runCrossTraffic shrinks, runs, and prints one cross-traffic variant.
+func (r *runner) runCrossTraffic(o sourcesync.CrossTrafficOptions) {
+	o.Workers = r.p.Workers
+	o.Monitor = r.p.Monitor
+	o.Topologies = r.shrink(o.Topologies)
+	o.Packets = r.shrink(o.Packets)
+	o.CrossPackets = r.shrink(o.CrossPackets)
+	o.Legacy = r.p.Legacy
+	res := sourcesync.RunCrossTraffic(o)
+	rateLabel := fmt.Sprintf("%d Mbps", o.RateMbps)
+	if o.AdaptCross {
+		rateLabel = "SampleRate-adapted"
+	}
+	r.printf("%d cross flows x %d packets, %s, model=%s", o.CrossFlows, o.CrossPackets, rateLabel, r.modelName())
+	if o.CSRangeM > 0 {
+		r.printf(", cs-range=%.0fm width-x%.1f", o.CSRangeM, o.WidthScale)
+	}
+	r.println()
+	r.printf("%10s %12s %12s %12s %12s\n", "fraction", "sp(Mbps)", "sp+load", "ss(Mbps)", "ss+load")
+	n := len(res.SinglePathAloneMbps)
+	for i := 0; i < n; i++ {
+		r.printf("%10.3f %12.3f %12.3f %12.3f %12.3f\n", float64(i+1)/float64(n),
+			res.SinglePathAloneMbps[i], res.SinglePathLoadedMbps[i],
+			res.SourceSyncAloneMbps[i], res.SourceSyncLoadedMbps[i])
+	}
+	r.printf("median retention under load: single-path %.2f, SourceSync %.2f; SrcSync/single under load %.2fx\n",
+		res.SinglePathRetention, res.SourceSyncRetention, res.GainUnderLoad)
+	r.printf("cross-flow hidden-terminal losses: %d\n", res.CrossHiddenLosses)
+	r.printCorruption(res.CrossRateCorruption)
+}
+
+func (r *runner) overhead() {
+	r.header("Table (§4.4) — synchronization overhead, 1460 B at 12 Mbps")
+	r.printf("%10s %12s %14s\n", "senders", "overhead(%)", "airtime(us)")
+	for _, row := range sourcesync.RunOverheadTable() {
+		r.printf("%10d %12.2f %14.1f\n", row.Senders, row.OverheadFraction*100, row.FrameAirtimeUs)
+	}
+	r.println("paper: 1.7% for two senders, 2.8% for five")
+}
+
+func (r *runner) detdelay() {
+	r.header("Premise (§4.2a) — packet detection delay vs SNR")
+	pts := sourcesync.RunDetDelay(r.p.Seed+7, []float64{2, 4, 6, 9, 12, 18, 25}, r.shrink(60), r.p.Workers)
+	r.printf("%8s %10s %10s %10s %6s %6s\n", "SNR(dB)", "mean(ns)", "std(ns)", "p95(ns)", "det", "miss")
+	for _, p := range pts {
+		r.printf("%8.1f %10.1f %10.1f %10.1f %6d %6d\n", p.SNRdB, p.MeanNs, p.StdNs, p.P95Ns, p.Detected, p.Missed)
+	}
+	r.println("paper (citing Williams et al.): variability on the order of hundreds of ns")
+}
+
+func (r *runner) ablations() {
+	r.header("Ablation — phase-slope window (3 MHz vs whole band)")
+	sw := sourcesync.RunAblationSlopeWindow(r.p.Seed+8, r.shrink(200), r.p.Workers)
+	r.printf("windowed RMS %.3f samples, whole-band RMS %.3f samples over %d draws\n",
+		sw.WindowedRMS, sw.WholeBandRMS, sw.Draws)
+	if r.canceled() {
+		return
+	}
+
+	r.header("Ablation — Smart Combiner (STBC) vs naive identical transmission")
+	nc := sourcesync.RunAblationNaiveCombining(r.p.Seed+9, r.shrink(12), r.p.Workers)
+	r.printf("worst-case effective SNR: STBC %.1f dB, naive %.1f dB (naive total failures: %d)\n",
+		nc.STBCWorstSNRdB, nc.NaiveWorstSNRdB, nc.NaiveFailures)
+	if r.canceled() {
+		return
+	}
+
+	r.header("Ablation — shared pilots vs single phase track")
+	ps := sourcesync.RunAblationPilotSharing(r.p.Seed+10, r.shrink(6), r.p.Workers)
+	r.printf("EVM with shared pilots %.4f, with naive tracking %.4f\n",
+		ps.SharedPilotsEVM, ps.NaiveTrackEVM)
+	if r.canceled() {
+		return
+	}
+
+	r.header("Ablation — multi-receiver LP vs aligning at one receiver")
+	lp := sourcesync.RunAblationMultiRxLP(r.p.Seed+11, r.shrink(100), 3, r.p.Workers)
+	r.printf("mean worst-case misalignment: LP %.2f samples, first-rx alignment %.2f samples\n",
+		lp.LPMaxMisalign, lp.FirstRxMisalign)
+}

@@ -220,3 +220,41 @@ func TestRateCorruptionMergeRaggedSlices(t *testing.T) {
 		t.Fatalf("rate 1 merged wrong: %+v", dst[1])
 	}
 }
+
+// The decode-threshold memo must be invisible except in speed: memoized
+// tables equal a direct bisection, repeat lookups hit the cache, and the
+// returned slice is a private copy a caller cannot poison the memo through.
+func TestThresholdMemoMatchesDirectComputation(t *testing.T) {
+	cfg := modem.Profile80211()
+	rates := modem.StandardRates()
+	h0, m0 := ThresholdCacheStats()
+
+	a := NewRateAware(cfg, rates, 1459) // payload unlikely to be cached by earlier tests
+	for i, r := range rates {
+		if want := DecodeThresholdDB(cfg, r, 1459); a.ThresholdsDB[i] != want {
+			t.Fatalf("rate %v: memoized threshold %.4f, direct %.4f", r, a.ThresholdsDB[i], want)
+		}
+	}
+
+	b := NewRateAware(cfg, rates, 1459)
+	h1, m1 := ThresholdCacheStats()
+	if m1 <= m0 {
+		t.Fatalf("first lookup should have been a miss (misses %d -> %d)", m0, m1)
+	}
+	if h1 <= h0 {
+		t.Fatalf("second lookup should have been a hit (hits %d -> %d)", h0, h1)
+	}
+
+	// Mutating one table must not leak into the other (or the memo).
+	b.ThresholdsDB[0] = -999
+	c := NewRateAware(cfg, rates, 1459)
+	if c.ThresholdsDB[0] == -999 || a.ThresholdsDB[0] == -999 {
+		t.Fatal("memo handed out a shared slice; mutation poisoned the cache")
+	}
+
+	// A different payload is a different key, not a stale hit.
+	d := NewRateAware(cfg, rates, 40)
+	if d.ThresholdsDB[len(rates)-1] == a.ThresholdsDB[len(rates)-1] {
+		t.Fatal("payload 40 and 1459 produced identical top-rate thresholds; key ignores payload?")
+	}
+}

@@ -1,0 +1,21 @@
+package serve
+
+import "time"
+
+// Wall-clock access for the whole package is confined to this file. The
+// daemon legitimately needs real time — job timeouts, queue/run latency
+// metrics, stream pacing — but none of it may reach simulation state: a
+// job's output bytes stay a pure function of its spec (see
+// docs/ARCHITECTURE.md, "determinism contract"). Keeping every clock read
+// behind these three helpers keeps the sslint detwallclock sanctions
+// auditable in one place; everything else in the package is clock-free by
+// construction.
+
+// now returns the current wall-clock time for job timestamps.
+func now() time.Time { return time.Now() } //sslint:allow detwallclock service-layer timestamps; job output stays a pure function of the spec
+
+// since measures elapsed wall-clock time for latency metrics.
+func since(t time.Time) time.Duration { return time.Since(t) } //sslint:allow detwallclock service-layer latency metrics; job output stays a pure function of the spec
+
+// newTimer backs job timeouts and stream pacing.
+func newTimer(d time.Duration) *time.Timer { return time.NewTimer(d) } //sslint:allow detwallclock service-layer timeout/pacing timer; job output stays a pure function of the spec

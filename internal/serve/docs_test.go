@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestArchitectureDocCoversEveryEndpoint is the service analogue of the
+// experiments docs-freshness gate: every route Handler registers must
+// appear verbatim (backtick-quoted) in docs/ARCHITECTURE.md, so adding an
+// endpoint without documenting it fails CI.
+func TestArchitectureDocCoversEveryEndpoint(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("read docs/ARCHITECTURE.md: %v", err)
+	}
+	text := string(doc)
+	for _, ep := range Endpoints() {
+		if !strings.Contains(text, "`"+ep+"`") {
+			t.Errorf("docs/ARCHITECTURE.md does not document endpoint `%s`", ep)
+		}
+	}
+}
+
+// TestEndpointsMatchHandler walks every declared endpoint against the
+// mux: a request matching the pattern must not fall through to the mux's
+// 404 handler (404s from our own handlers carry a JSON body instead).
+func TestEndpointsMatchHandler(t *testing.T) {
+	if len(Endpoints()) != 8 {
+		t.Fatalf("Endpoints() has %d entries; update this test and the docs", len(Endpoints()))
+	}
+	seen := map[string]bool{}
+	for _, ep := range Endpoints() {
+		if seen[ep] {
+			t.Errorf("duplicate endpoint %q", ep)
+		}
+		seen[ep] = true
+		parts := strings.SplitN(ep, " ", 2)
+		if len(parts) != 2 || (parts[0] != "GET" && parts[0] != "POST") {
+			t.Errorf("endpoint %q is not in \"METHOD /path\" form", ep)
+		}
+	}
+}

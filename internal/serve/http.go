@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Endpoints lists every route the daemon serves, in the notation
+// Handler registers them with. docs_test.go holds docs/ARCHITECTURE.md to
+// this list (the endpoints analogue of the experiments docs-freshness
+// gate), so adding a route without documenting it fails CI.
+func Endpoints() []string {
+	return []string{
+		"POST /jobs",
+		"GET /jobs",
+		"GET /jobs/{id}",
+		"GET /jobs/{id}/output",
+		"GET /jobs/{id}/stream",
+		"POST /jobs/{id}/cancel",
+		"GET /healthz",
+		"GET /metrics",
+	}
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /jobs                submit a Spec, get its Status (202)
+//	GET  /jobs                all jobs, submission order
+//	GET  /jobs/{id}           one job's Status
+//	GET  /jobs/{id}/output    the exact ssbench stdout bytes (200 when done)
+//	GET  /jobs/{id}/stream    chunked JSON status lines until terminal
+//	POST /jobs/{id}/cancel    cooperative cancellation
+//	GET  /healthz             liveness
+//	GET  /metrics             Prometheus-style text counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/output", s.handleOutput)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "%v: retry later", err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusAccepted, job.Status())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jobFor resolves the {id} path segment, writing a 404 when unknown.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	out, done := j.Output()
+	if !done {
+		st := j.Status()
+		writeError(w, http.StatusConflict, "job %s is %s, not done%s", j.ID, st.State, errSuffix(st.Error))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(out) //nolint:errcheck // client gone; nothing to do
+}
+
+// errSuffix formats a job error for embedding in a message.
+func errSuffix(errMsg string) string {
+	if errMsg == "" {
+		return ""
+	}
+	return ": " + errMsg
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// streamInterval paces the progress stream: one status line per tick (or
+// sooner, on the terminal transition).
+const streamInterval = 100 * time.Millisecond
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		st := j.Status()
+		if err := enc.Encode(st); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if st.State.terminal() {
+			return
+		}
+		tm := newTimer(streamInterval)
+		select {
+		case <-j.Done():
+			tm.Stop()
+		case <-tm.C:
+		case <-r.Context().Done():
+			tm.Stop()
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.render(w, len(s.queue))
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+)
+
+// Spec is the client-facing description of one experiment job, as posted
+// to POST /jobs. The zero value of every optional field means "ssbench's
+// default": seed nil is seed 1, empty sweep lists are the standard sweep
+// points, workers 0 is one engine worker per CPU.
+type Spec struct {
+	// Experiment is a registered experiment name or "all" (ssbench's
+	// argument). Case-insensitive.
+	Experiment string `json:"experiment"`
+	// Seed is the base random seed; nil means ssbench's default of 1.
+	Seed *int64 `json:"seed,omitempty"`
+	// Quick runs the shrunken ~10x-faster workloads (ssbench -quick).
+	Quick bool `json:"quick,omitempty"`
+	// Workers bounds the engine's parallelism for this job (ssbench
+	// -workers): 0 is one worker per CPU, 1 is serial. By the determinism
+	// contract it cannot change the output bytes, so it is excluded from
+	// the job's cache key.
+	Workers int `json:"workers,omitempty"`
+	// Cells is cellsweep's capacity-vs-cell-count sweep (ssbench -cells).
+	Cells []int `json:"cells,omitempty"`
+	// CSRanges is cellsweep's carrier-sense sweep in meters (ssbench -cs).
+	CSRanges []float64 `json:"cs_ranges,omitempty"`
+	// WindowSec selects fixed-time-window saturation mode (ssbench -window).
+	WindowSec float64 `json:"window_sec,omitempty"`
+	// Legacy selects the pre-model interference behavior (ssbench -legacy).
+	Legacy bool `json:"legacy,omitempty"`
+	// TimeoutSec caps this job's run time; 0 uses the server's default.
+	// A timed-out job is cooperatively canceled and reported failed.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// normalize lower-cases the experiment, fills defaults, and validates,
+// returning the canonical Spec every later stage (cache key, params) uses.
+func (sp Spec) normalize() (Spec, error) {
+	sp.Experiment = strings.ToLower(strings.TrimSpace(sp.Experiment))
+	if sp.Experiment == "" {
+		return sp, fmt.Errorf("spec is missing an experiment name (one of %s, or \"all\")",
+			strings.Join(experiments.Names(), ", "))
+	}
+	if !experiments.IsName(sp.Experiment) {
+		return sp, fmt.Errorf("unknown experiment %q (known: %s, or \"all\")",
+			sp.Experiment, strings.Join(experiments.Names(), ", "))
+	}
+	if sp.Seed == nil {
+		one := int64(1)
+		sp.Seed = &one
+	}
+	if sp.Workers < 0 {
+		return sp, fmt.Errorf("workers %d < 0", sp.Workers)
+	}
+	if sp.TimeoutSec < 0 {
+		return sp, fmt.Errorf("timeout_sec %g < 0", sp.TimeoutSec)
+	}
+	d := experiments.DefaultParams()
+	if len(sp.Cells) == 0 {
+		sp.Cells = d.Cells
+	}
+	if len(sp.CSRanges) == 0 {
+		sp.CSRanges = d.CSRanges
+	}
+	if err := sp.params(nil).Validate(); err != nil {
+		return sp, err
+	}
+	return sp, nil
+}
+
+// params translates the (normalized) Spec into experiments.Params, wiring
+// in the job's monitor for progress and cooperative cancellation.
+func (sp Spec) params(m *engine.Monitor) experiments.Params {
+	seed := int64(1)
+	if sp.Seed != nil {
+		seed = *sp.Seed
+	}
+	return experiments.Params{
+		Seed:      seed,
+		Quick:     sp.Quick,
+		Workers:   sp.Workers,
+		Cells:     sp.Cells,
+		CSRanges:  sp.CSRanges,
+		WindowSec: sp.WindowSec,
+		Legacy:    sp.Legacy,
+		Monitor:   m,
+	}
+}
+
+// Key is the output-cache key of a normalized Spec: every field that can
+// reach the output bytes, and nothing else. Workers is deliberately
+// absent — the determinism contract pins output byte-identical at any
+// worker count, so a seed-1 quick fig12 at 1 worker and at 8 workers are
+// the same cache entry (the e2e suite proves the contract holds).
+// TimeoutSec is absent too: it changes whether a job finishes, never what
+// a finished job printed.
+func (sp Spec) Key() string {
+	seed := int64(1)
+	if sp.Seed != nil {
+		seed = *sp.Seed
+	}
+	return fmt.Sprintf("%s|seed=%d|quick=%t|cells=%v|cs=%v|window=%g|legacy=%t",
+		sp.Experiment, seed, sp.Quick, sp.Cells, sp.CSRanges, sp.WindowSec, sp.Legacy)
+}
+
+// State is a job's lifecycle position. Terminal states are done, failed,
+// and canceled.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether a job in this state will never change again.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one submitted experiment run and its lifecycle.
+type Job struct {
+	// ID is the server-assigned identifier ("j1", "j2", ...).
+	ID string
+	// Spec is the normalized spec the job runs.
+	Spec Spec
+
+	monitor *engine.Monitor
+
+	mu        sync.Mutex
+	state     State
+	output    []byte
+	errMsg    string
+	cacheHit  bool
+	cancelReq bool
+	timedOut  bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	queuedFor time.Duration
+	ranFor    time.Duration
+	done      chan struct{} // closed when the job reaches a terminal state
+}
+
+// Status is the JSON view of a job returned by the status endpoints.
+type Status struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Spec  Spec   `json:"spec"`
+	// CacheHit marks a job served from the output cache: it was born done
+	// without consuming a worker.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Error explains failed and canceled states.
+	Error string `json:"error,omitempty"`
+	// Done/Total are engine trial progress. Total grows as an
+	// experiment's successive stages start, so Done/Total underestimates
+	// completion until the final stage is scheduled.
+	Done  int64 `json:"done"`
+	Total int64 `json:"total"`
+	// QueuedMs and RunMs are wall-clock milliseconds spent waiting and
+	// running (RunMs is present once the job finished).
+	QueuedMs float64 `json:"queued_ms"`
+	RunMs    float64 `json:"run_ms,omitempty"`
+}
+
+// Status snapshots the job for JSON rendering.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	done, total := j.monitor.Progress()
+	st := Status{
+		ID:       j.ID,
+		State:    j.state,
+		Spec:     j.Spec,
+		CacheHit: j.cacheHit,
+		Error:    j.errMsg,
+		Done:     done,
+		Total:    total,
+	}
+	switch {
+	case j.state == StateQueued:
+		st.QueuedMs = float64(since(j.submitted)) / float64(time.Millisecond)
+	default:
+		st.QueuedMs = float64(j.queuedFor) / float64(time.Millisecond)
+	}
+	if j.state.terminal() && !j.started.IsZero() {
+		st.RunMs = float64(j.ranFor) / float64(time.Millisecond)
+	} else if j.state == StateRunning {
+		st.RunMs = float64(since(j.started)) / float64(time.Millisecond)
+	}
+	return st
+}
+
+// StateNow returns the job's current state.
+func (j *Job) StateNow() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Output returns the job's output bytes if it completed successfully.
+func (j *Job) Output() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, false
+	}
+	return j.output, true
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
