@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ssserve [-addr :8080] [-max-running N] [-queue N] [-timeout 15m] [-cache N]
+//	ssserve [-addr :8080] [-max-running N] [-queue N] [-timeout 15m] [-cache N] [-max-jobs N]
 //
 // Submit a job and fetch its output:
 //
@@ -30,6 +30,7 @@ func main() {
 	queue := flag.Int("queue", 0, "max jobs queued before submits get 503 (0 = 64)")
 	timeout := flag.Duration("timeout", 0, "default per-job timeout (0 = 15m, -1ns = none)")
 	cache := flag.Int("cache", 0, "completed-output cache entries (0 = 256, negative disables)")
+	maxJobs := flag.Int("max-jobs", 0, "finished jobs retained in the job table (0 = 4096, negative retains all)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
@@ -42,6 +43,7 @@ func main() {
 		MaxQueue:     *queue,
 		JobTimeout:   *timeout,
 		CacheEntries: *cache,
+		MaxJobs:      *maxJobs,
 	})
 	defer s.Close()
 

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"time"
 
@@ -44,6 +45,13 @@ type Config struct {
 	// CacheEntries bounds the completed-output cache (FIFO eviction).
 	// 0 means 256; negative disables caching entirely.
 	CacheEntries int
+	// MaxJobs bounds the job table: once more than MaxJobs jobs have
+	// reached a terminal state, the oldest terminal jobs — and the output
+	// bytes they pin — are evicted, so a long-lived daemon's memory does
+	// not grow with every job ever submitted. Queued and running jobs are
+	// never evicted; an evicted ID turns into 404 on the job routes.
+	// 0 means 4096; negative retains every job forever.
+	MaxJobs int
 
 	// runFn renders one experiment; tests substitute a controllable fake.
 	// nil means experiments.Run.
@@ -63,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 4096
 	}
 	if c.runFn == nil {
 		c.runFn = func(buf *bytes.Buffer, name string, p experiments.Params) error {
@@ -90,6 +101,7 @@ type Server struct {
 	nextID int
 	jobs   map[string]*Job
 	order  []string // submission order, for GET /jobs
+	doneQ  []string // terminal jobs in settlement order, for MaxJobs eviction
 	cache  map[string][]byte
 	cacheQ []string // FIFO eviction order
 
@@ -152,9 +164,25 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	cached, hit := s.cache[norm.Key()]
+	if !hit {
+		// Reserve the queue slot before the job enters the table, while
+		// still holding s.mu. A rejected submit then needs no rollback (a
+		// rollback after re-acquiring the lock could race a concurrent
+		// submit and drop the wrong entry from s.order), and the
+		// non-blocking send is ordered against Close — which sets closed
+		// under this same lock before closing the channel — so it can
+		// never hit a closed queue.
+		select {
+		case s.queue <- job:
+		default:
+			s.mu.Unlock()
+			s.metrics.reject()
+			return nil, ErrQueueFull
+		}
+	}
 	s.nextID++
 	job.ID = fmt.Sprintf("j%d", s.nextID)
-	cached, hit := s.cache[norm.Key()]
 	if hit {
 		job.state = StateDone
 		job.output = cached
@@ -164,22 +192,32 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	if hit {
+		s.retireLocked(job.ID)
+	}
 	s.mu.Unlock()
 
 	s.metrics.submit(hit)
-	if hit {
-		return job, nil
+	return job, nil
+}
+
+// retireLocked records that a job reached a terminal state and evicts
+// the oldest terminal jobs beyond cfg.MaxJobs, bounding the job table
+// (and the output bytes it pins) the same way cacheQ bounds the output
+// cache. Queued and running jobs never enter doneQ, so they are never
+// evicted. The caller holds s.mu.
+func (s *Server) retireLocked(id string) {
+	if s.cfg.MaxJobs <= 0 {
+		return
 	}
-	select {
-	case s.queue <- job:
-		return job, nil
-	default:
-		s.mu.Lock()
-		delete(s.jobs, job.ID)
-		s.order = s.order[:len(s.order)-1]
-		s.mu.Unlock()
-		s.metrics.reject()
-		return nil, ErrQueueFull
+	s.doneQ = append(s.doneQ, id)
+	for len(s.doneQ) > s.cfg.MaxJobs {
+		old := s.doneQ[0]
+		s.doneQ = s.doneQ[1:]
+		delete(s.jobs, old)
+		if i := slices.Index(s.order, old); i >= 0 {
+			s.order = slices.Delete(s.order, i, i+1)
+		}
 	}
 }
 
@@ -214,6 +252,7 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 	j.mu.Lock()
 	j.cancelReq = true
 	j.monitor.Cancel()
+	settled := false
 	if j.state == StateQueued {
 		// The runner will skip it when it pops; settle it now so clients
 		// see the terminal state immediately.
@@ -222,9 +261,15 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 		j.finished = now()
 		j.queuedFor = j.finished.Sub(j.submitted)
 		close(j.done)
-		s.metrics.finished(j.Spec.Experiment, StateCanceled, 0)
+		settled = true
 	}
 	j.mu.Unlock()
+	if settled {
+		s.mu.Lock()
+		s.retireLocked(j.ID)
+		s.mu.Unlock()
+		s.metrics.finished(j.Spec.Experiment, StateCanceled, 0)
+	}
 	return j, true
 }
 
@@ -328,8 +373,8 @@ func (s *Server) settle(job *Job, res runResult, timeout time.Duration) {
 	close(job.done)
 	job.mu.Unlock()
 
+	s.mu.Lock()
 	if state == StateDone && s.cfg.CacheEntries > 0 {
-		s.mu.Lock()
 		key := job.Spec.Key()
 		if _, exists := s.cache[key]; !exists {
 			for len(s.cacheQ) >= s.cfg.CacheEntries {
@@ -339,7 +384,8 @@ func (s *Server) settle(job *Job, res runResult, timeout time.Duration) {
 			s.cache[key] = res.out
 			s.cacheQ = append(s.cacheQ, key)
 		}
-		s.mu.Unlock()
 	}
+	s.retireLocked(job.ID)
+	s.mu.Unlock()
 	s.metrics.finished(job.Spec.Experiment, state, ranFor)
 }

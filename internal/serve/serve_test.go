@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -118,6 +120,82 @@ func TestQueueFull(t *testing.T) {
 	if got := len(s.Jobs()); got != 2 {
 		t.Errorf("Jobs() has %d entries, want 2", got)
 	}
+}
+
+func TestConcurrentSubmitsAgainstFullQueue(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{MaxRunning: 1, MaxQueue: 1, CacheEntries: -1, runFn: fakeRun(release, nil)})
+	defer s.Close()
+	defer close(release)
+
+	j1, err := s.Submit(Spec{Experiment: "fig12", Seed: ptr(int64(1))})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	for j1.StateNow() != StateRunning {
+		<-newTimer(time.Millisecond).C
+	}
+
+	// The single queue slot is open and the runner is pinned; of these
+	// concurrent submits exactly one can win the slot and the rest must be
+	// rejected without corrupting the job table (a rollback that truncated
+	// s.order used to drop a concurrent winner's ID while leaving the
+	// loser's, making Jobs() yield a nil job).
+	var wg sync.WaitGroup
+	var accepted atomic.Int32
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			_, err := s.Submit(Spec{Experiment: "fig12", Seed: ptr(seed)})
+			switch {
+			case err == nil:
+				accepted.Add(1)
+			case !errors.Is(err, ErrQueueFull):
+				t.Errorf("submit seed=%d: %v, want nil or ErrQueueFull", seed, err)
+			}
+		}(int64(i + 2))
+	}
+	wg.Wait()
+	if got := accepted.Load(); got != 1 {
+		t.Errorf("%d submits won the single queue slot, want 1", got)
+	}
+	jobs := s.Jobs()
+	if len(jobs) != 2 {
+		t.Errorf("Jobs() has %d entries, want 2 (running + queued)", len(jobs))
+	}
+	for i, j := range jobs {
+		if j == nil {
+			t.Fatalf("Jobs()[%d] is nil: a rejected submit left a stale ID in s.order", i)
+		}
+		j.Status() // what handleList does; must not panic
+	}
+}
+
+func TestSubmitDuringCloseDoesNotPanic(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := New(Config{MaxRunning: 2, MaxQueue: 2, CacheEntries: -1, runFn: fakeRun(release, nil)})
+
+	// Hammer Submit from several goroutines while Close runs. The queue
+	// send used to happen outside s.mu, so a submit could race Close's
+	// close(s.queue) and crash the daemon with "send on closed channel".
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for n := int64(0); ; n++ {
+				_, err := s.Submit(Spec{Experiment: "fig12", Seed: ptr(base*1_000_000 + n)})
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+			}
+		}(int64(i))
+	}
+	<-newTimer(5 * time.Millisecond).C
+	s.Close()
+	wg.Wait()
 }
 
 func TestCancelQueuedJob(t *testing.T) {
@@ -282,6 +360,47 @@ func TestOutputCacheDisabledAndBounded(t *testing.T) {
 	}
 	if calls != 3 {
 		t.Errorf("bounded cache: runFn ran %d times, want 3 (FIFO eviction)", calls)
+	}
+}
+
+func TestJobTableRetention(t *testing.T) {
+	s := New(Config{MaxRunning: 1, MaxJobs: 2, CacheEntries: -1, runFn: fakeRun(nil, nil)})
+	defer s.Close()
+	for seed := int64(1); seed <= 4; seed++ {
+		j, err := s.Submit(Spec{Experiment: "fig12", Seed: ptr(seed)})
+		if err != nil {
+			t.Fatalf("submit seed=%d: %v", seed, err)
+		}
+		waitState(t, j)
+	}
+	// Eviction trails the terminal transition (the done channel closes
+	// under the job lock, the table prunes under the server lock just
+	// after), so poll briefly.
+	deadline := newTimer(10 * time.Second)
+	for len(s.Jobs()) != 2 {
+		select {
+		case <-deadline.C:
+			t.Fatalf("Jobs() still has %d entries, want 2 after eviction", len(s.Jobs()))
+		case <-newTimer(time.Millisecond).C:
+		}
+	}
+	jobs := s.Jobs()
+	if jobs[0].ID != "j3" || jobs[1].ID != "j4" {
+		t.Errorf("retained jobs = %s,%s, want j3,j4 (oldest terminal evicted first)", jobs[0].ID, jobs[1].ID)
+	}
+	if _, ok := s.Get("j1"); ok {
+		t.Error("evicted job j1 is still reachable by ID")
+	}
+
+	// Negative MaxJobs retains everything.
+	s2 := New(Config{MaxRunning: 1, MaxJobs: -1, CacheEntries: -1, runFn: fakeRun(nil, nil)})
+	defer s2.Close()
+	for seed := int64(1); seed <= 4; seed++ {
+		j, _ := s2.Submit(Spec{Experiment: "fig12", Seed: ptr(seed)})
+		waitState(t, j)
+	}
+	if got := len(s2.Jobs()); got != 4 {
+		t.Errorf("MaxJobs=-1 retained %d jobs, want all 4", got)
 	}
 }
 
