@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 var (
@@ -35,6 +36,7 @@ var (
 	csRanges = flag.String("cs", "20,30,45", "comma-separated carrier-sense ranges (meters) for cellsweep's capacity-vs-CS-range table")
 	window   = flag.Float64("window", 0, "fixed-time-window saturation mode for cell/cellsweep: drain unbounded backlogs for this many virtual seconds (0 = drain fixed per-client backlogs)")
 	legacy   = flag.Bool("legacy", false, "run cell/cellsweep/crosstraffic* with their pre-model interference behavior (cellsweep keeps its binary CaptureDB gate; cell and the crosstraffic variants historically modeled no interference at all)")
+	scenFile = flag.String("scenario", "", "path to a declarative scenario spec (JSON); with no experiment argument, runs the generic \"scenario\" experiment over it")
 )
 
 // workers translates the flags into the engine's convention: 1 worker when
@@ -60,13 +62,15 @@ func params() experiments.Params {
 		os.Exit(2)
 	}
 	return experiments.Params{
-		Seed:      *seed,
-		Quick:     *quick,
-		Workers:   workers(),
-		Cells:     counts,
-		CSRanges:  ranges,
-		WindowSec: *window,
-		Legacy:    *legacy,
+		Seed:    *seed,
+		Quick:   *quick,
+		Workers: workers(),
+		Options: experiments.Options{
+			Cells:     counts,
+			CSRanges:  ranges,
+			WindowSec: *window,
+			Legacy:    *legacy,
+		},
 	}
 }
 
@@ -78,11 +82,32 @@ func main() {
 		}
 		return
 	}
+	p := params()
+	if *scenFile != "" {
+		data, err := os.ReadFile(*scenFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -scenario: %v\n", err)
+			os.Exit(2)
+		}
+		sp, err := scenario.Parse(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -scenario %s: %v\n", *scenFile, err)
+			os.Exit(2)
+		}
+		p.Scenario = sp
+		if flag.NArg() == 0 {
+			// A spec alone runs the generic scenario experiment over it.
+			start := time.Now() //sslint:allow detwallclock stderr-only timing report; stdout stays byte-identical
+			run("scenario", p)
+			fmt.Fprintf(os.Stderr, "\ntotal wall clock: %.2fs (%d workers)\n",
+				time.Since(start).Seconds(), engine.WorkerCount(workers())) //sslint:allow detwallclock stderr-only timing report; stdout stays byte-identical
+			return
+		}
+	}
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	p := params()
 	start := time.Now() //sslint:allow detwallclock stderr-only timing report; stdout stays byte-identical
 	for _, exp := range flag.Args() {
 		run(strings.ToLower(exp), p)
@@ -94,7 +119,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] [-cells N,N,...] [-cs M,M,...] [-window SEC] [-legacy] <%s|all>\n       ssbench -list\n",
+	fmt.Fprintf(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] [-cells N,N,...] [-cs M,M,...] [-window SEC] [-legacy] <%s|all>\n       ssbench -scenario spec.json\n       ssbench -list\n",
 		strings.Join(experiments.Names(), "|"))
 }
 

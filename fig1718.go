@@ -6,10 +6,12 @@ import (
 
 	"repro/internal/dsp"
 	"repro/internal/engine"
+	"repro/internal/etx"
 	"repro/internal/exor"
 	"repro/internal/lasthop"
 	"repro/internal/mac"
 	"repro/internal/modem"
+	"repro/internal/permodel"
 	"repro/internal/testbed"
 )
 
@@ -167,7 +169,7 @@ func RunFig18(o Fig18Options) Fig18Result {
 
 	type tpRes struct{ spBps, exBps, ssBps float64 }
 	rows := engine.Map(ec, 0, o.Topologies, func(tp int, rng *rand.Rand) tpRes {
-		topo := randomMeshTopology(rng, env, false)
+		topo := randomMeshTopology(rng, env, false, nil)
 		meas := topo.Measure(rng, rate, o.Payload, o.Probes, 0.1)
 		sim := &exor.Sim{Topo: topo, Meas: meas, Mac: m, Rate: rate, Payload: o.Payload}
 		sp := sim.Run(rand.New(rand.NewSource(rng.Int63())), exor.SinglePath, o.Packets)     //sslint:allow detrand child RNG bridged from the per-trial stream; the parent draw is part of the contracted draw order
@@ -209,23 +211,74 @@ func RunFig18(o Fig18Options) Fig18Result {
 // different carrier-sense cells. Both shapes consume the same RNG draws in
 // the same order, so spread false stays draw-for-draw identical to the
 // historical topology.
-func randomMeshTopology(rng *rand.Rand, env *testbed.Testbed, spread bool) *exor.Topology {
+//
+// A non-nil routable predicate makes the placement ETX-aware: candidate
+// topologies whose shadowing draws left no usable source -> destination
+// route redraw the three relays (source and destination stay put) and
+// their links, up to meshRelayRedraws times. The predicate must be a pure
+// function of the drawn topology — it may not consume RNG draws — so a
+// first-draw-routable topology costs exactly the historical draw
+// sequence. Callers needing draw-for-draw identity with the historical
+// topologies (fig18, the non-spatial cross-traffic variant) pass nil.
+func randomMeshTopology(rng *rand.Rand, env *testbed.Testbed, spread bool, routable func(*exor.Topology) bool) *exor.Topology {
 	w, h := env.Width, env.Height
 	src := testbed.Point{X: rng.Float64() * 0.08 * w, Y: rng.Float64() * h}
 	dst := testbed.Point{X: (0.92 + rng.Float64()*0.08) * w, Y: rng.Float64() * h}
-	pts := []testbed.Point{src}
-	for r := 0; r < 3; r++ {
-		lo := 0.25
-		if spread {
-			lo = 0.15 + 0.25*float64(r)
+	draw := func() *exor.Topology {
+		pts := []testbed.Point{src}
+		for r := 0; r < 3; r++ {
+			lo := 0.25
+			if spread {
+				lo = 0.15 + 0.25*float64(r)
+			}
+			pts = append(pts, testbed.Point{
+				X: (lo + rng.Float64()*0.2) * w,
+				Y: rng.Float64() * h,
+			})
 		}
-		pts = append(pts, testbed.Point{
-			X: (lo + rng.Float64()*0.2) * w,
-			Y: rng.Float64() * h,
-		})
+		pts = append(pts, dst)
+		return exor.NewTopology(rng, env, pts)
 	}
-	pts = append(pts, dst)
-	return exor.NewTopology(rng, env, pts)
+	topo := draw()
+	if routable != nil {
+		// Bounded redraws: a floor drawn hostile everywhere keeps the last
+		// candidate rather than spinning, so the run stays deterministic
+		// and finite either way.
+		for tries := 0; !routable(topo) && tries < meshRelayRedraws; tries++ {
+			topo = draw()
+		}
+	}
+	return topo
+}
+
+// meshRelayRedraws bounds ETX-aware relay re-placement per topology.
+const meshRelayRedraws = 20
+
+// meshRoutablePredicate builds the ETX routability proxy for spread mesh
+// placements: each drawn link gets the delivery probability of its static
+// (post-shadowing) average SNR under the flat-channel PER model — a pure
+// function of the topology, no probe draws — sub-10% links are pruned the
+// way the routing measurement phase prunes them, and a candidate counts
+// as routable when a finite-ETX path connects source to destination.
+func meshRoutablePredicate(cfg *modem.Config, rate modem.Rate, payloadBytes int) func(*exor.Topology) bool {
+	return func(t *exor.Topology) bool {
+		n := t.N()
+		g := etx.NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				p := 1 - permodel.FlatPER(cfg, rate, payloadBytes, t.Links[i][j].SNRdB)
+				if p < 0.1 {
+					continue
+				}
+				g.AddLink(i, j, etx.LinkETX(p, p))
+			}
+		}
+		path, _ := g.ShortestPath(0, n-1)
+		return path != nil
+	}
 }
 
 func sortFloats(x []float64) { sort.Float64s(x) }

@@ -1,6 +1,7 @@
 package sourcesync
 
 import (
+	"math"
 	"math/rand"
 
 	"repro/internal/dsp"
@@ -96,40 +97,9 @@ func RunCell(o CellOptions) CellExpResult {
 		corruption                 []netsim.RateCorruption
 	}
 	rows := engine.Map(ec, 0, o.Placements, func(pl int, rng *rand.Rand) plRes {
-		aps := make([]testbed.Point, o.APs)
-		for a := range aps {
-			// Spread the APs: each at least a quarter floor-width from the
-			// others (bounded rejection sampling — fails loudly if the
-			// floor cannot hold them).
-			aps[a] = env.RandomPointWhere(rng, 100000, func(p testbed.Point) bool {
-				for _, q := range aps[:a] {
-					if testbed.Dist(p, q) < env.Width/4 {
-						return false
-					}
-				}
-				return true
-			})
-		}
-		links := make([][]testbed.Link, o.Clients)
-		clientPos := make([]testbed.Point, o.Clients)
+		aps, clientPos, links := placeCell(rng, env, o.APs, o.Clients)
 		apPos := make([][]testbed.Point, o.Clients)
-		for c := range links {
-			// Clients sit 8-25 m from their nearest AP: links with rate
-			// headroom, the regime where sender diversity pays.
-			pos := env.RandomPointWhere(rng, 100000, func(p testbed.Point) bool {
-				nearest := testbed.Dist(p, aps[0])
-				for _, q := range aps[1:] {
-					if d := testbed.Dist(p, q); d < nearest {
-						nearest = d
-					}
-				}
-				return nearest >= 8 && nearest <= 25
-			})
-			links[c] = make([]testbed.Link, o.APs)
-			for a := range aps {
-				links[c][a] = env.NewLink(rng, aps[a], pos)
-			}
-			clientPos[c] = pos
+		for c := range apPos {
 			apPos[c] = aps
 		}
 		cell := lasthop.Cell{
@@ -179,6 +149,47 @@ func RunCell(o CellOptions) CellExpResult {
 		res.MeanCaptureRate = capSum / float64(len(rows))
 	}
 	return res
+}
+
+// placeCell draws one cell placement — the draw sequence RunCell has
+// always used, shared with the scenario executor (figscenario.go) so a
+// spec describing the same cell reproduces it draw for draw: the APs
+// spread over the floor (each at least a quarter floor-width from the
+// others; bounded rejection sampling fails loudly if the floor cannot
+// hold them), then each client 8-25 m from its nearest AP — links with
+// rate headroom, the regime where sender diversity pays — with one
+// shadowed link drawn from every AP.
+func placeCell(rng *rand.Rand, env *testbed.Testbed, nAPs, nClients int) (aps, clientPos []testbed.Point, links [][]testbed.Link) {
+	aps = make([]testbed.Point, nAPs)
+	for a := range aps {
+		aps[a] = env.RandomPointWhere(rng, 100000, func(p testbed.Point) bool {
+			for _, q := range aps[:a] {
+				if testbed.Dist(p, q) < env.Width/4 {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	links = make([][]testbed.Link, nClients)
+	clientPos = make([]testbed.Point, nClients)
+	for c := range links {
+		pos := env.RandomPointWhere(rng, 100000, func(p testbed.Point) bool {
+			nearest := testbed.Dist(p, aps[0])
+			for _, q := range aps[1:] {
+				if d := testbed.Dist(p, q); d < nearest {
+					nearest = d
+				}
+			}
+			return nearest >= 8 && nearest <= 25
+		})
+		links[c] = make([]testbed.Link, nAPs)
+		for a := range aps {
+			links[c][a] = env.NewLink(rng, aps[a], pos)
+		}
+		clientPos[c] = pos
+	}
+	return aps, clientPos, links
 }
 
 // ---------------------------------------------------------- crosstraffic
@@ -306,9 +317,27 @@ func RunCrossTraffic(o CrossTrafficOptions) CrossTrafficResult {
 		crossHidden                          int
 		crossCorruption                      []netsim.RateCorruption
 	}
+	// The spatial variant spreads relays across a stretched floor, where a
+	// fraction of draws land with every src -> dst path past the rate's
+	// waterfall: the routed run then measures a dead topology, not
+	// contention. ETX-aware placement fixes that in two bounded stages:
+	// the shadowing-SNR proxy inside randomMeshTopology prunes hopeless
+	// geometry before the measurement phase, and if the measured ETX graph
+	// still leaves the destination unreachable (fading in the probe draws
+	// can kill a proxy-approved chain), the whole topology re-rolls. The
+	// compact variant keeps nil + no re-roll to stay draw-identical to its
+	// history.
+	var routable func(*exor.Topology) bool
+	if o.CSRangeM > 0 {
+		routable = meshRoutablePredicate(cfg, rate, o.Payload)
+	}
 	rows := engine.Map(ec, 0, o.Topologies, func(tp int, rng *rand.Rand) tpRes {
-		topo := randomMeshTopology(rng, env, o.CSRangeM > 0)
+		topo := randomMeshTopology(rng, env, o.CSRangeM > 0, routable)
 		meas := topo.Measure(rng, rate, o.Payload, o.Probes, 0.1)
+		for tries := 0; routable != nil && math.IsInf(meas.DistTo[0], 1) && tries < meshRelayRedraws; tries++ {
+			topo = randomMeshTopology(rng, env, true, routable)
+			meas = topo.Measure(rng, rate, o.Payload, o.Probes, 0.1)
+		}
 		sim := &exor.Sim{Topo: topo, Meas: meas, Mac: m, Rate: rate, Payload: o.Payload,
 			CSRangeM: o.CSRangeM, Model: model, AdaptCross: o.AdaptCross}
 		// Cross flows between distinct relays (nodes 1..N-2), drawn per

@@ -1,0 +1,431 @@
+package sourcesync
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dsp"
+	"repro/internal/engine"
+	"repro/internal/lasthop"
+	"repro/internal/mac"
+	"repro/internal/modem"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+	"repro/internal/testbed"
+)
+
+// ------------------------------------------------------------- scenario
+//
+// This file executes declarative scenario specs (internal/scenario): it
+// maps a parsed spec onto the same lasthop/netsim machinery the
+// registered experiments use. The backlogged degenerate case routes
+// through RunCell itself — placement draws and all — which is what makes
+// a spec mirroring ssbench's cell defaults reproduce that experiment
+// byte-identically (examples/cell.json is pinned to it). Arrival-driven
+// specs run fixed windows with netsim's traffic layer attached; mobility
+// specs additionally drift every client at each waypoint epoch.
+
+// ScenarioRunOptions carries the run-level knobs every experiment shares;
+// the scenario itself supplies everything else.
+type ScenarioRunOptions struct {
+	// Seed is the fully derived seed (base seed + the spec's seed offset).
+	Seed int64
+	// Workers bounds the engine's parallelism: 0 uses one worker per CPU,
+	// 1 runs serially. Results are identical either way.
+	Workers int
+	// Quick shrinks placements (and backlogs) exactly as ssbench -quick
+	// shrinks the registered experiments.
+	Quick bool
+	// Monitor optionally observes the run and cancels it cooperatively.
+	Monitor *engine.Monitor
+}
+
+// shrink applies ssbench's -quick rule (internal/experiments uses the
+// same one, so a spec and its equivalent registered experiment shrink
+// identically).
+func (ro ScenarioRunOptions) shrink(n int) int {
+	if ro.Quick && n > 4 {
+		return n / 4
+	}
+	return n
+}
+
+// ScenarioSchemeStats is one serving scheme's aggregate outcome over a
+// scenario's placements.
+type ScenarioSchemeStats struct {
+	Scheme            string
+	MedianGoodputMbps float64 // median over placements of delivered bits / window
+	Arrived           int     // packets offered by the arrival processes, summed
+	Delivered         int
+	Expired           int // deadline-expired before service
+	Abandoned         int // queued packets taken along by leaving clients
+}
+
+// ScenarioLoadPoint is one offered-load sweep row.
+type ScenarioLoadPoint struct {
+	RatePps float64
+	// Stats holds one entry per scheme, in the spec's SchemeList order.
+	Stats []ScenarioSchemeStats
+	// MedianGain is the median over placements of joint/single goodput;
+	// 0 unless both schemes ran.
+	MedianGain float64
+}
+
+// ScenarioArrivalsResult is the outcome of an arrival-driven scenario:
+// one load point per swept rate (a single-rate spec has one point).
+type ScenarioArrivalsResult struct {
+	Points []ScenarioLoadPoint
+}
+
+// ScenarioMobilityResult is the outcome of a mobility scenario.
+type ScenarioMobilityResult struct {
+	Stats      []ScenarioSchemeStats
+	MedianGain float64
+	// HandoffsPerClient is the mean number of serving-cell changes each
+	// client made over the window (the trajectory is scheme-independent).
+	HandoffsPerClient float64
+}
+
+// ScenarioOutcome is RunScenario's result; exactly one branch is set,
+// matching the spec's shape.
+type ScenarioOutcome struct {
+	// Cell is set for backlogged cell-family specs, which run the cell
+	// experiment's own code path; CellOpts echoes the options it ran with
+	// (after -quick shrinking), for rendering.
+	Cell     *CellExpResult
+	CellOpts CellOptions
+	// Arrivals is set for arrival-driven specs without mobility.
+	Arrivals *ScenarioArrivalsResult
+	// Mobility is set when the spec drifts its clients.
+	Mobility *ScenarioMobilityResult
+}
+
+// RunScenario executes one validated scenario spec.
+func RunScenario(sp *scenario.Spec, ro ScenarioRunOptions) (*ScenarioOutcome, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if sp.Traffic.Model == scenario.ModelBacklogged {
+		// The degenerate case is the registered cell experiment; running
+		// its exact code keeps the spec layer honest.
+		o := CellOptions{
+			Seed:       ro.Seed,
+			Placements: ro.shrink(sp.Topology.Placements),
+			Clients:    sp.Topology.Clients,
+			APs:        sp.Topology.APs,
+			Packets:    ro.shrink(sp.Traffic.Packets),
+			Payload:    sp.Traffic.PayloadBytes,
+			WindowSec:  sp.Traffic.WindowSec,
+			Workers:    ro.Workers,
+			Monitor:    ro.Monitor,
+		}
+		res := RunCell(o)
+		return &ScenarioOutcome{Cell: &res, CellOpts: o}, nil
+	}
+	if sp.Mobility != nil {
+		return &ScenarioOutcome{Mobility: runScenarioMobility(sp, ro)}, nil
+	}
+	return &ScenarioOutcome{Arrivals: runScenarioArrivals(sp, ro)}, nil
+}
+
+// scenarioTraffic builds client i's arrival config at the given rate: a
+// fresh process per call (on/off processes carry renewal state), plus the
+// spec's deadline and churn window.
+func scenarioTraffic(sp *scenario.Spec, ratePps float64, client int) netsim.TrafficConfig {
+	var proc netsim.ArrivalProcess
+	switch sp.Traffic.Model {
+	case scenario.ModelOnOff:
+		proc = &netsim.OnOff{
+			RatePps:    ratePps,
+			MeanOnSec:  sp.Traffic.BurstOnSec,
+			MeanOffSec: sp.Traffic.BurstOffSec,
+		}
+	default:
+		proc = netsim.Poisson{RatePps: ratePps}
+	}
+	cfg := netsim.TrafficConfig{Process: proc, DeadlineSec: sp.Traffic.DeadlineSec}
+	if ch := sp.Churn; ch != nil {
+		cfg.StartSec = ch.JoinStaggerSec * float64(client)
+		if ch.LeaveAfterSec > 0 {
+			cfg.StopSec = cfg.StartSec + ch.LeaveAfterSec
+		}
+	}
+	return cfg
+}
+
+// scenClient is one client's current position and serving cell inside a
+// scenario topology.
+type scenClient struct {
+	pos   testbed.Point
+	cell  int
+	links []testbed.Link
+}
+
+// scenTopo is one placement of a scenario topology: AP positions per cell
+// plus the clients, cell-major, with their serving links.
+type scenTopo struct {
+	cellAPs [][]testbed.Point
+	clients []scenClient
+}
+
+// buildScenarioTopology draws one placement. The cell family reuses the
+// cell experiment's exact placement code (shadowed links drawn per
+// AP-client pair). The multicell family lays cells in a row along +X,
+// spaced at 1.5x the carrier-sense range, with the same per-cell geometry
+// as the metro grid (APs within 10 m of the center, clients 8-25 m from
+// their nearest own-cell AP); its links come from the mean path-loss
+// profile — no shadowing draw — so a mobility epoch can re-derive them
+// deterministically as clients move.
+func buildScenarioTopology(rng *rand.Rand, env *testbed.Testbed, sp *scenario.Spec) *scenTopo {
+	t := &scenTopo{}
+	if sp.Topology.Family == scenario.FamilyCell {
+		aps, clientPos, links := placeCell(rng, env, sp.Topology.APs, sp.Topology.Clients)
+		t.cellAPs = [][]testbed.Point{aps}
+		for c := range clientPos {
+			t.clients = append(t.clients, scenClient{pos: clientPos[c], links: links[c]})
+		}
+		return t
+	}
+	spacing := 1.5 * sp.Topology.CSRangeM
+	for ci := 0; ci < sp.Topology.Cells; ci++ {
+		center := testbed.Point{X: spacing/2 + float64(ci)*spacing}
+		aps := make([]testbed.Point, sp.Topology.APs)
+		for a := range aps {
+			aps[a] = metroPoint(rng, center, 10, 100000, func(p testbed.Point) bool {
+				if testbed.Dist(p, center) > 10 {
+					return false
+				}
+				for _, q := range aps[:a] {
+					if testbed.Dist(p, q) < 4 {
+						return false
+					}
+				}
+				return true
+			})
+		}
+		t.cellAPs = append(t.cellAPs, aps)
+	}
+	for ci := 0; ci < sp.Topology.Cells; ci++ {
+		center := testbed.Point{X: spacing/2 + float64(ci)*spacing}
+		aps := t.cellAPs[ci]
+		for c := 0; c < sp.Topology.Clients; c++ {
+			pos := metroPoint(rng, center, 36, 100000, func(p testbed.Point) bool {
+				nearest := math.Inf(1)
+				for _, q := range aps {
+					if d := testbed.Dist(p, q); d < nearest {
+						nearest = d
+					}
+				}
+				return nearest >= 8 && nearest <= 25
+			})
+			t.clients = append(t.clients, scenClient{
+				pos: pos, cell: ci, links: meanLinks(env, aps, pos),
+			})
+		}
+	}
+	return t
+}
+
+// meanLinks derives the serving links from the mean path-loss profile at
+// the current distances — deterministic, so mobility epochs can rebuild
+// them without consuming randomness.
+func meanLinks(env *testbed.Testbed, aps []testbed.Point, pos testbed.Point) []testbed.Link {
+	row := make([]testbed.Link, len(aps))
+	for a := range aps {
+		d := testbed.Dist(aps[a], pos)
+		row[a] = env.LinkAtSNR(env.MeanSNRdB(d), d)
+	}
+	return row
+}
+
+// bestCell returns the cell whose nearest AP is closest to p.
+func (t *scenTopo) bestCell(p testbed.Point) int {
+	best, bd := 0, math.Inf(1)
+	for ci, aps := range t.cellAPs {
+		for _, ap := range aps {
+			if d := testbed.Dist(ap, p); d < bd {
+				bd, best = d, ci
+			}
+		}
+	}
+	return best
+}
+
+// instantiate builds a fresh lasthop.Cell for one scheme run, with its
+// own copies of the position/link rows (a mobility run mutates them, and
+// both schemes must start from the same placement), the spec's traffic
+// attached, and — under mobility — the per-epoch drift wired up. The
+// returned counter accumulates serving-cell handoffs.
+func (t *scenTopo) instantiate(sp *scenario.Spec, env *testbed.Testbed, m mac.Params,
+	model netsim.InterferenceModel, ratePps float64) (lasthop.Cell, *int) {
+	n := len(t.clients)
+	links := make([][]testbed.Link, n)
+	apPos := make([][]testbed.Point, n)
+	clientPos := make([]testbed.Point, n)
+	cur := make([]scenClient, n)
+	copy(cur, t.clients)
+	for c := range cur {
+		links[c] = append([]testbed.Link(nil), cur[c].links...)
+		apPos[c] = t.cellAPs[cur[c].cell]
+		clientPos[c] = cur[c].pos
+	}
+	cell := lasthop.Cell{
+		Mac:                m,
+		PayloadBytes:       sp.Traffic.PayloadBytes,
+		Links:              links,
+		APPos:              apPos,
+		ClientPos:          clientPos,
+		CSRangeM:           sp.Topology.CSRangeM,
+		InterferenceRangeM: sp.Topology.InterferenceRangeM,
+		Model:              model,
+		Env:                env,
+		WindowSec:          sp.Traffic.WindowSec,
+		Traffic: func(client int) netsim.TrafficConfig {
+			return scenarioTraffic(sp, ratePps, client)
+		},
+	}
+	handoffs := new(int)
+	if sp.Mobility != nil {
+		step := sp.Mobility.SpeedMps * sp.Mobility.EpochSec
+		cell.MobilityEpochSec = sp.Mobility.EpochSec
+		cell.MoveClients = func(float64) {
+			for c := range cur {
+				cur[c].pos.X += step
+				if best := t.bestCell(cur[c].pos); best != cur[c].cell {
+					cur[c].cell = best
+					*handoffs++
+				}
+				aps := t.cellAPs[cur[c].cell]
+				apPos[c] = aps
+				links[c] = meanLinks(env, aps, cur[c].pos)
+				clientPos[c] = cur[c].pos
+			}
+		}
+	}
+	return cell, handoffs
+}
+
+// runScenarioScheme runs one serving scheme over an instantiated cell.
+func runScenarioScheme(cell lasthop.Cell, scheme string, rng *rand.Rand) lasthop.CellResult {
+	if scheme == scenario.SchemeSingle {
+		return cell.RunBestSingleAP(rng)
+	}
+	return cell.RunJoint(rng)
+}
+
+// scenTrial is one (placement, load) trial's per-scheme outcome.
+type scenTrial struct {
+	goodputBps []float64
+	arrived    []int
+	delivered  []int
+	expired    []int
+	abandoned  []int
+	handoffs   int
+}
+
+// runScenarioTrial builds one placement and runs every scheme over it at
+// the given per-client rate, bridging each scheme its own child RNG from
+// the per-trial stream.
+func runScenarioTrial(sp *scenario.Spec, env *testbed.Testbed, m mac.Params,
+	model netsim.InterferenceModel, schemes []string, ratePps float64, rng *rand.Rand) scenTrial {
+	topo := buildScenarioTopology(rng, env, sp)
+	var tr scenTrial
+	for _, scheme := range schemes {
+		cell, handoffs := topo.instantiate(sp, env, m, model, ratePps)
+		res := runScenarioScheme(cell, scheme, rand.New(rand.NewSource(rng.Int63()))) //sslint:allow detrand child RNG bridged from the per-trial stream; the parent draw is part of the contracted draw order
+		tr.goodputBps = append(tr.goodputBps, res.AggregateBps)
+		tr.arrived = append(tr.arrived, res.Arrived)
+		tr.delivered = append(tr.delivered, res.Delivered)
+		tr.expired = append(tr.expired, res.Expired)
+		tr.abandoned = append(tr.abandoned, res.Abandoned)
+		// The drift trajectory is deterministic and scheme-independent, so
+		// one scheme's count stands for the trial.
+		tr.handoffs = *handoffs
+	}
+	return tr
+}
+
+// reduceScenarioTrials folds one load point's trials into per-scheme
+// stats and the joint/single gain.
+func reduceScenarioTrials(schemes []string, trials []scenTrial, ratePps float64) ScenarioLoadPoint {
+	pt := ScenarioLoadPoint{RatePps: ratePps}
+	single, joint := -1, -1
+	for si, scheme := range schemes {
+		st := ScenarioSchemeStats{Scheme: scheme}
+		var goodputs []float64
+		for _, tr := range trials {
+			goodputs = append(goodputs, tr.goodputBps[si]/1e6)
+			st.Arrived += tr.arrived[si]
+			st.Delivered += tr.delivered[si]
+			st.Expired += tr.expired[si]
+			st.Abandoned += tr.abandoned[si]
+		}
+		st.MedianGoodputMbps = dsp.Median(goodputs)
+		pt.Stats = append(pt.Stats, st)
+		if scheme == scenario.SchemeSingle {
+			single = si
+		} else {
+			joint = si
+		}
+	}
+	if single >= 0 && joint >= 0 {
+		var gains []float64
+		for _, tr := range trials {
+			if tr.goodputBps[single] > 0 {
+				gains = append(gains, tr.goodputBps[joint]/tr.goodputBps[single])
+			}
+		}
+		pt.MedianGain = dsp.Median(gains)
+	}
+	return pt
+}
+
+// runScenarioArrivals sweeps the offered load: one engine grid over
+// (rate, placement), every trial running each scheme over the same drawn
+// topology.
+func runScenarioArrivals(sp *scenario.Spec, ro ScenarioRunOptions) *ScenarioArrivalsResult {
+	cfg := Profile80211()
+	env := testbed.Mesh(cfg)
+	m := mac.Default(cfg)
+	model := netsim.NewRateAware(cfg, modem.StandardRates(), sp.Traffic.PayloadBytes)
+	schemes := sp.SchemeList()
+	rates := sp.Traffic.RateSweepPps
+	if len(rates) == 0 {
+		rates = []float64{sp.Traffic.RatePps}
+	}
+	placements := ro.shrink(sp.Topology.Placements)
+	ec := engine.Config{Seed: ro.Seed, Workers: ro.Workers, Monitor: ro.Monitor}
+	grid := engine.Grid(ec, len(rates), placements, func(pt, pl int, rng *rand.Rand) scenTrial {
+		return runScenarioTrial(sp, env, m, model, schemes, rates[pt], rng)
+	})
+	res := &ScenarioArrivalsResult{}
+	for pi, trials := range grid {
+		res.Points = append(res.Points, reduceScenarioTrials(schemes, trials, rates[pi]))
+	}
+	return res
+}
+
+// runScenarioMobility runs the drifting-clients scenario: one engine map
+// over placements at the spec's single rate.
+func runScenarioMobility(sp *scenario.Spec, ro ScenarioRunOptions) *ScenarioMobilityResult {
+	cfg := Profile80211()
+	env := testbed.Mesh(cfg)
+	m := mac.Default(cfg)
+	model := netsim.NewRateAware(cfg, modem.StandardRates(), sp.Traffic.PayloadBytes)
+	schemes := sp.SchemeList()
+	placements := ro.shrink(sp.Topology.Placements)
+	ec := engine.Config{Seed: ro.Seed, Workers: ro.Workers, Monitor: ro.Monitor}
+	trials := engine.Map(ec, 0, placements, func(pl int, rng *rand.Rand) scenTrial {
+		return runScenarioTrial(sp, env, m, model, schemes, sp.Traffic.RatePps, rng)
+	})
+	pt := reduceScenarioTrials(schemes, trials, sp.Traffic.RatePps)
+	res := &ScenarioMobilityResult{Stats: pt.Stats, MedianGain: pt.MedianGain}
+	var handoffs int
+	for _, tr := range trials {
+		handoffs += tr.handoffs
+	}
+	if n := len(trials) * sp.TotalClients(); n > 0 {
+		res.HandoffsPerClient = float64(handoffs) / float64(n)
+	}
+	return res
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/modem"
 	"repro/internal/netsim"
+	"repro/internal/scenario"
 )
 
 // names lists every registered experiment in the order "all" runs them.
@@ -30,7 +31,7 @@ import (
 var names = []string{
 	"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 	"cell", "cellsweep", "metro", "crosstraffic", "crosstraffic-spatial",
-	"overhead", "detdelay", "ablations",
+	"overhead", "detdelay", "ablations", "arrivals", "mobility",
 }
 
 // Names returns the registered experiment names in "all" order. The
@@ -40,10 +41,11 @@ func Names() []string {
 }
 
 // IsName reports whether name (already lower-cased or not) is a registered
-// experiment or the pseudo-experiment "all".
+// experiment or one of the pseudo-experiments "all" and "scenario" (the
+// generic spec renderer — it needs Params.Scenario, so "all" skips it).
 func IsName(name string) bool {
 	name = strings.ToLower(name)
-	if name == "all" {
+	if name == "all" || name == "scenario" {
 		return true
 	}
 	for _, n := range names {
@@ -60,6 +62,24 @@ func IsName(name string) bool {
 // outside the determinism contract.
 var ErrCanceled = errors.New("experiment run canceled")
 
+// Options carries the experiment-specific knobs — the sweep shape and
+// interference-model era that only some experiments read — as a typed
+// sub-struct, so Params' generic fields (seed, size, parallelism) stay
+// separate from per-experiment configuration. The ssbench flags and the
+// ssserve wire format both map into it; the zero value means "the
+// experiment's defaults".
+type Options struct {
+	// Cells is cellsweep's capacity-vs-cell-count sweep (ssbench -cells).
+	Cells []int
+	// CSRanges is cellsweep's carrier-sense sweep in meters (ssbench -cs).
+	CSRanges []float64
+	// WindowSec switches cell/cellsweep/metro to fixed-time-window
+	// saturation mode (ssbench -window); 0 keeps backlog-drain mode.
+	WindowSec float64
+	// Legacy selects the pre-model interference behavior (ssbench -legacy).
+	Legacy bool
+}
+
 // Params configures one Run. The zero value is not runnable as-is for
 // cellsweep (it needs sweep points); use DefaultParams as the base, which
 // mirrors ssbench's flag defaults.
@@ -72,15 +92,12 @@ type Params struct {
 	// Workers bounds the engine's parallelism: 0 means one worker per
 	// CPU, 1 runs serially. Output bytes are identical either way.
 	Workers int
-	// Cells is cellsweep's capacity-vs-cell-count sweep (ssbench -cells).
-	Cells []int
-	// CSRanges is cellsweep's carrier-sense sweep in meters (ssbench -cs).
-	CSRanges []float64
-	// WindowSec switches cell/cellsweep/metro to fixed-time-window
-	// saturation mode (ssbench -window); 0 keeps backlog-drain mode.
-	WindowSec float64
-	// Legacy selects the pre-model interference behavior (ssbench -legacy).
-	Legacy bool
+	// Options holds the experiment-specific knobs.
+	Options Options
+	// Scenario is the declarative spec the generic "scenario" experiment
+	// renders (ssbench -scenario, ssserve inline specs). Nil for every
+	// registered experiment, which carries its own configuration.
+	Scenario *scenario.Spec
 	// Monitor optionally observes trial progress and cancels the run
 	// cooperatively; see engine.Monitor and ErrCanceled.
 	Monitor *engine.Monitor
@@ -90,9 +107,11 @@ type Params struct {
 // worker per CPU, the standard cellsweep sweep points.
 func DefaultParams() Params {
 	return Params{
-		Seed:     1,
-		Cells:    []int{1, 2, 3},
-		CSRanges: []float64{20, 30, 45},
+		Seed: 1,
+		Options: Options{
+			Cells:    []int{1, 2, 3},
+			CSRanges: []float64{20, 30, 45},
+		},
 	}
 }
 
@@ -100,11 +119,11 @@ func DefaultParams() Params {
 // (e.g. a service job with an empty spec) get ssbench's behavior.
 func (p Params) normalized() Params {
 	d := DefaultParams()
-	if len(p.Cells) == 0 {
-		p.Cells = d.Cells
+	if len(p.Options.Cells) == 0 {
+		p.Options.Cells = d.Options.Cells
 	}
-	if len(p.CSRanges) == 0 {
-		p.CSRanges = d.CSRanges
+	if len(p.Options.CSRanges) == 0 {
+		p.Options.CSRanges = d.Options.CSRanges
 	}
 	return p
 }
@@ -116,18 +135,23 @@ func (p Params) Validate() error { return p.normalized().validate() }
 
 // validate rejects parameter values no experiment can run with.
 func (p Params) validate() error {
-	for _, n := range p.Cells {
+	for _, n := range p.Options.Cells {
 		if n < 1 {
 			return fmt.Errorf("cell count %d < 1", n)
 		}
 	}
-	for _, v := range p.CSRanges {
+	for _, v := range p.Options.CSRanges {
 		if v <= 0 {
 			return fmt.Errorf("carrier-sense range %g <= 0", v)
 		}
 	}
-	if p.WindowSec < 0 {
-		return fmt.Errorf("window %g < 0", p.WindowSec)
+	if p.Options.WindowSec < 0 {
+		return fmt.Errorf("window %g < 0", p.Options.WindowSec)
+	}
+	if p.Scenario != nil {
+		if err := p.Scenario.Validate(); err != nil {
+			return fmt.Errorf("scenario spec: %w", err)
+		}
 	}
 	return nil
 }
@@ -184,6 +208,18 @@ func Run(w io.Writer, name string, p Params) error {
 		r.detdelay()
 	case "ablations":
 		r.ablations()
+	case "arrivals", "mobility":
+		sp, _ := scenario.Builtin(name)
+		if err := r.scenario(sp); err != nil {
+			return err
+		}
+	case "scenario":
+		if p.Scenario == nil {
+			return fmt.Errorf(`experiment "scenario" needs a spec (ssbench -scenario file.json, or an inline "scenario" object in a ssserve job)`)
+		}
+		if err := r.scenario(p.Scenario); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
@@ -340,7 +376,7 @@ func (r *runner) fig18(mbps int) {
 // CaptureDB gate, while cell and the crosstraffic variants historically
 // ran with no interference model — so the label stays generic.
 func (r *runner) modelName() string {
-	if r.p.Legacy {
+	if r.p.Options.Legacy {
 		return "legacy"
 	}
 	return "rate-aware"
@@ -383,10 +419,21 @@ func (r *runner) cell() {
 	o.Monitor = r.p.Monitor
 	o.Placements = r.shrink(o.Placements)
 	o.Packets = r.shrink(o.Packets)
-	o.Legacy = r.p.Legacy
-	o.WindowSec = r.p.WindowSec
-	res := sourcesync.RunCell(o)
-	r.printf("clients=%d APs=%d packets/client=%d model=%s", o.Clients, o.APs, o.Packets, r.modelName())
+	o.Legacy = r.p.Options.Legacy
+	o.WindowSec = r.p.Options.WindowSec
+	r.cellBody(o, sourcesync.RunCell(o))
+}
+
+// cellBody renders a cell-experiment result table; shared between the
+// registered cell experiment and backlogged scenario specs, which is what
+// pins a spec mirroring the cell defaults byte-identical to `ssbench cell`
+// (examples/cell.json).
+func (r *runner) cellBody(o sourcesync.CellOptions, res sourcesync.CellExpResult) {
+	model := "rate-aware"
+	if o.Legacy {
+		model = "legacy"
+	}
+	r.printf("clients=%d APs=%d packets/client=%d model=%s", o.Clients, o.APs, o.Packets, model)
 	if o.WindowSec > 0 {
 		r.printf(" window=%.2fs", o.WindowSec)
 	}
@@ -409,8 +456,8 @@ func (r *runner) cellsweep() {
 	o.Monitor = r.p.Monitor
 	o.Placements = r.shrink(o.Placements)
 	o.Packets = r.shrink(o.Packets)
-	o.Legacy = r.p.Legacy
-	o.WindowSec = r.p.WindowSec
+	o.Legacy = r.p.Options.Legacy
+	o.WindowSec = r.p.Options.WindowSec
 	res := sourcesync.RunCellSweep(o)
 	r.printf("cells=%d aps/cell=%d packets/client=%d cs-range=%.0fm model=%s", o.Cells, o.APsPerCell, o.Packets, o.CSRangeM, r.modelName())
 	if o.WindowSec > 0 {
@@ -431,7 +478,7 @@ func (r *runner) cellsweep() {
 	}
 
 	clientsPer := r.shrink(4)
-	pts := sourcesync.RunCellCountSweep(o, r.p.Cells, clientsPer)
+	pts := sourcesync.RunCellCountSweep(o, r.p.Options.Cells, clientsPer)
 	r.printf("\ncapacity vs cell count (clients/cell=%d):\n", clientsPer)
 	rows = make([]sweepRow, len(pts))
 	for i, p := range pts {
@@ -443,7 +490,7 @@ func (r *runner) cellsweep() {
 		return
 	}
 
-	csPts := sourcesync.RunCSRangeSweep(o, r.p.CSRanges, clientsPer)
+	csPts := sourcesync.RunCSRangeSweep(o, r.p.Options.CSRanges, clientsPer)
 	r.printf("\ncapacity vs carrier-sense range (cells=%d clients/cell=%d):\n", o.Cells, clientsPer)
 	rows = make([]sweepRow, len(csPts))
 	for i, p := range csPts {
@@ -477,7 +524,7 @@ func (r *runner) metro() {
 	o.Seed = r.p.Seed + 16
 	o.Workers = r.p.Workers
 	o.Monitor = r.p.Monitor
-	o.WindowSec = r.p.WindowSec
+	o.WindowSec = r.p.Options.WindowSec
 	if r.p.Quick {
 		// A quick city: 16 cells and light density, or the metro grid
 		// dwarfs every other quick experiment combined.
@@ -525,7 +572,7 @@ func (r *runner) runCrossTraffic(o sourcesync.CrossTrafficOptions) {
 	o.Topologies = r.shrink(o.Topologies)
 	o.Packets = r.shrink(o.Packets)
 	o.CrossPackets = r.shrink(o.CrossPackets)
-	o.Legacy = r.p.Legacy
+	o.Legacy = r.p.Options.Legacy
 	res := sourcesync.RunCrossTraffic(o)
 	rateLabel := fmt.Sprintf("%d Mbps", o.RateMbps)
 	if o.AdaptCross {
@@ -597,4 +644,121 @@ func (r *runner) ablations() {
 	lp := sourcesync.RunAblationMultiRxLP(r.p.Seed+11, r.shrink(100), 3, r.p.Workers)
 	r.printf("mean worst-case misalignment: LP %.2f samples, first-rx alignment %.2f samples\n",
 		lp.LPMaxMisalign, lp.FirstRxMisalign)
+}
+
+// scenario runs and renders one declarative scenario spec — the generic
+// path behind `ssbench -scenario`, ssserve inline specs, and the
+// registered data-driven experiments (arrivals, mobility).
+func (r *runner) scenario(sp *scenario.Spec) error {
+	out, err := sourcesync.RunScenario(sp, sourcesync.ScenarioRunOptions{
+		Seed:    r.p.Seed + sp.SeedOffset,
+		Workers: r.p.Workers,
+		Quick:   r.p.Quick,
+		Monitor: r.p.Monitor,
+	})
+	if err != nil {
+		return err
+	}
+	r.header(sp.DisplayTitle())
+	switch {
+	case out.Cell != nil:
+		r.cellBody(out.CellOpts, *out.Cell)
+	case out.Mobility != nil:
+		r.mobilityBody(sp, out.Mobility)
+	case out.Arrivals != nil:
+		r.arrivalsBody(sp, out.Arrivals)
+	}
+	return nil
+}
+
+// scenarioConfig is the one-line run configuration under a scenario
+// header, built from the spec fields that reached the run.
+func (r *runner) scenarioConfig(sp *scenario.Spec) string {
+	var b strings.Builder
+	t := sp.Topology
+	if t.Family == scenario.FamilyMulticell {
+		fmt.Fprintf(&b, "cells=%d aps/cell=%d clients/cell=%d cs-range=%.0fm", t.Cells, t.APs, t.Clients, t.CSRangeM)
+	} else {
+		fmt.Fprintf(&b, "clients=%d APs=%d", t.Clients, t.APs)
+	}
+	fmt.Fprintf(&b, " payload=%dB window=%.2fs", sp.Traffic.PayloadBytes, sp.Traffic.WindowSec)
+	if sp.Traffic.Model == scenario.ModelOnOff {
+		fmt.Fprintf(&b, " burst=%.2fs on/%.2fs off", sp.Traffic.BurstOnSec, sp.Traffic.BurstOffSec)
+	}
+	if sp.Traffic.DeadlineSec > 0 {
+		fmt.Fprintf(&b, " deadline=%.0fms", sp.Traffic.DeadlineSec*1000)
+	}
+	if m := sp.Mobility; m != nil {
+		fmt.Fprintf(&b, " speed=%.1fm/s epoch=%.2fs", m.SpeedMps, m.EpochSec)
+	}
+	if c := sp.Churn; c != nil {
+		if c.JoinStaggerSec > 0 {
+			fmt.Fprintf(&b, " join-stagger=%.2fs", c.JoinStaggerSec)
+		}
+		if c.LeaveAfterSec > 0 {
+			fmt.Fprintf(&b, " leave-after=%.2fs", c.LeaveAfterSec)
+		}
+	}
+	fmt.Fprintf(&b, " placements=%d model=rate-aware", r.shrink(sp.Topology.Placements))
+	return b.String()
+}
+
+// arrivalsBody renders an offered-load table: one row per swept rate,
+// with each scheme's median goodput and delivered fraction.
+func (r *runner) arrivalsBody(sp *scenario.Spec, res *sourcesync.ScenarioArrivalsResult) {
+	r.println(r.scenarioConfig(sp))
+	schemes := sp.SchemeList()
+	r.printf("%10s", "load(pps)")
+	for _, s := range schemes {
+		r.printf(" %13s %7s", s+"(Mbps)", "del(%)")
+	}
+	if len(schemes) == 2 {
+		r.printf(" %7s", "gain")
+	}
+	r.println()
+	for _, pt := range res.Points {
+		r.printf("%10.0f", pt.RatePps)
+		for _, st := range pt.Stats {
+			r.printf(" %13.2f %7.1f", st.MedianGoodputMbps, deliveredPct(st))
+		}
+		if len(schemes) == 2 {
+			r.printf(" %6.2fx", pt.MedianGain)
+		}
+		r.println()
+	}
+	if sp.Traffic.DeadlineSec > 0 {
+		r.printf("deadline-expired packets:")
+		for si, s := range schemes {
+			total := 0
+			for _, pt := range res.Points {
+				total += pt.Stats[si].Expired
+			}
+			r.printf(" %s %d", s, total)
+		}
+		r.println()
+	}
+	r.println("as load grows past the cell's capacity, joint service holds its delivery edge")
+}
+
+// mobilityBody renders the drifting-clients comparison: one row per
+// scheme plus the handoff rate the shared trajectory produced.
+func (r *runner) mobilityBody(sp *scenario.Spec, res *sourcesync.ScenarioMobilityResult) {
+	r.println(r.scenarioConfig(sp))
+	r.printf("%10s %14s %8s %10s\n", "scheme", "goodput(Mbps)", "del(%)", "abandoned")
+	for _, st := range res.Stats {
+		r.printf("%10s %14.2f %8.1f %10d\n", st.Scheme, st.MedianGoodputMbps, deliveredPct(st), st.Abandoned)
+	}
+	if len(res.Stats) == 2 {
+		r.printf("median joint/single goodput gain: %.2fx; ", res.MedianGain)
+	}
+	r.printf("handoffs/client over the window: %.2f\n", res.HandoffsPerClient)
+	r.println("drifting clients re-anchor at cell boundaries; joint service rides out the handoff dip")
+}
+
+// deliveredPct is the percentage of offered packets a scheme delivered.
+func deliveredPct(st sourcesync.ScenarioSchemeStats) float64 {
+	if st.Arrived == 0 {
+		return 0
+	}
+	return 100 * float64(st.Delivered) / float64(st.Arrived)
 }

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestScenarioCellMatchesCellExperiment is the faithfulness contract for
+// the declarative spec path: examples/cell.json run through the generic
+// "scenario" experiment must reproduce the hand-coded "cell" experiment
+// byte for byte. Quick mode here; CI also diffs the full-size run.
+func TestScenarioCellMatchesCellExperiment(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "cell.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := scenario.Parse(data)
+	if err != nil {
+		t.Fatalf("examples/cell.json does not parse: %v", err)
+	}
+
+	p := Params{Seed: 1, Quick: true, Workers: 2}
+	var direct bytes.Buffer
+	if err := Run(&direct, "cell", p); err != nil {
+		t.Fatal(err)
+	}
+	p.Scenario = sp
+	var viaSpec bytes.Buffer
+	if err := Run(&viaSpec, "scenario", p); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), viaSpec.Bytes()) {
+		t.Fatalf("scenario spec diverged from the cell experiment\n--- cell ---\n%s--- scenario ---\n%s",
+			direct.String(), viaSpec.String())
+	}
+}
+
+// TestScenarioRequiresSpec pins the error for the generic experiment
+// invoked without a spec (e.g. ssserve without an inline scenario).
+func TestScenarioRequiresSpec(t *testing.T) {
+	err := Run(&bytes.Buffer{}, "scenario", Params{Seed: 1, Quick: true})
+	if err == nil {
+		t.Fatal("scenario experiment ran without a spec")
+	}
+}

@@ -64,6 +64,25 @@ type Cell struct {
 	// boundary client no longer gates the elapsed time. PacketsPerClient
 	// is ignored in this mode.
 	WindowSec float64
+
+	// Traffic, when set, replaces client c's backlog with an arrival
+	// process: the cell attaches Traffic(c) to the flow (netsim's traffic
+	// layer), so the client contends exactly while packets are queued and
+	// is free — no airtime, no RNG draws — while idle. Requires WindowSec
+	// > 0 (an arrival-driven run ends on the clock, not on a drained
+	// backlog); PacketsPerClient is ignored. Each call must return a fresh
+	// TrafficConfig (arrival processes carry per-flow state).
+	Traffic func(client int) netsim.TrafficConfig
+	// MobilityEpochSec, with MoveClients, drifts the deployment: every
+	// epoch the cell calls MoveClients (which mutates ClientPos, Links,
+	// and APPos rows in place), rebuilds each client's serving plan and
+	// flow geometry from the mutated rows, re-indexes carrier-sense
+	// neighborhoods (netsim.Sim.Reindex), and wakes every flow. Epoch
+	// callbacks run inside the event drain in deterministic order, so
+	// mobility is as reproducible as the rest of the run. Requires
+	// WindowSec > 0.
+	MobilityEpochSec float64
+	MoveClients      func(now float64)
 }
 
 // ClientResult is one client's share of a cell run.
@@ -104,6 +123,11 @@ type CellResult struct {
 	// stats (interfered / corrupted / degraded counts and summed decode
 	// margins). Empty when no attempt was interfered with a model engaged.
 	RateCorruption []netsim.RateCorruption
+	// Arrived / Expired / Abandoned sum the traffic layer's offered-load
+	// accounting over every client; all zero unless Cell.Traffic is set.
+	Arrived   int
+	Expired   int
+	Abandoned int
 }
 
 // clientPlan is one client's serving decision: its per-attempt reception
@@ -205,12 +229,16 @@ func (c Cell) run(rng *rand.Rand, plan func(client int) clientPlan) CellResult {
 	sim.InterferenceRangeM = c.InterferenceRangeM
 	n := len(c.Links)
 	flows := make([]*netsim.Flow, n)
+	queues := make([]*netsim.Traffic, n)
+	// Flow hooks read through plans so a mobility epoch can swap a
+	// client's serving plan mid-run; without mobility the entry is written
+	// once and the indirection changes nothing.
+	plans := make([]clientPlan, n)
 	for client := 0; client < n; client++ {
-		p := plan(client)
-		sr := samplerate.New(p.ft)
+		client := client
+		plans[client] = plan(client)
+		sr := samplerate.New(plans[client].ft)
 		remaining := c.PacketsPerClient
-		attempt := p.attempt
-		ft := p.ft
 		hasTraffic := func() bool { return remaining > 0 }
 		if c.WindowSec > 0 {
 			// Fixed-window saturation: backlogs never drain; the clock,
@@ -219,21 +247,44 @@ func (c Cell) run(rng *rand.Rand, plan func(client int) clientPlan) CellResult {
 		}
 		flows[client] = sim.AddFlow(&netsim.Flow{
 			Acked:      true,
-			Radio:      p.radio,
+			Radio:      plans[client].radio,
 			HasTraffic: hasTraffic,
 			Prepare: func(rng *rand.Rand) int {
 				idx, _ := sr.Pick(rng)
 				return idx
 			},
-			FrameTime: func(i int) float64 { return ft[i] },
+			FrameTime: func(i int) float64 { return plans[client].ft[i] },
 			Deliver: func(rng *rand.Rand, i int, ix netsim.Interference) bool {
-				return attempt(rng, i, sr, ix)
+				return plans[client].attempt(rng, i, sr, ix)
 			},
 			Done: func(i int, delivered bool, air float64) {
 				remaining--
 				sr.Update(i, delivered, air)
 			},
 		})
+		if c.Traffic != nil {
+			if c.WindowSec <= 0 {
+				panic("lasthop: Cell.Traffic requires WindowSec > 0")
+			}
+			queues[client] = sim.AttachTraffic(flows[client], c.Traffic(client))
+		}
+	}
+	if c.MobilityEpochSec > 0 && c.MoveClients != nil {
+		if c.WindowSec <= 0 {
+			panic("lasthop: Cell.MoveClients requires WindowSec > 0")
+		}
+		var epoch func()
+		epoch = func() {
+			c.MoveClients(sim.Now())
+			for client := range flows {
+				plans[client] = plan(client)
+				flows[client].Radio = plans[client].radio
+				sim.Wake(flows[client])
+			}
+			sim.Reindex()
+			sim.ScheduleAt(sim.Now()+c.MobilityEpochSec, epoch)
+		}
+		sim.ScheduleAt(c.MobilityEpochSec, epoch)
 	}
 	if c.WindowSec > 0 {
 		sim.RunUntil(c.WindowSec)
@@ -264,6 +315,11 @@ func (c Cell) run(rng *rand.Rand, plan func(client int) clientPlan) CellResult {
 		res.HiddenLosses += f.HiddenLosses
 		res.Captures += f.Captures
 		res.RateCorruption = netsim.MergeRateCorruption(res.RateCorruption, f.RateCorruption)
+		if q := queues[i]; q != nil {
+			res.Arrived += q.Arrived
+			res.Expired += q.Expired
+			res.Abandoned += q.Abandoned
+		}
 	}
 	if res.Elapsed > 0 {
 		res.AggregateBps = float64(res.Delivered*c.PayloadBytes*8) / res.Elapsed

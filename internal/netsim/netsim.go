@@ -13,8 +13,11 @@
 // The scheduler is event-driven: every pending transmission is an event on
 // one shared virtual clock, and each Step advances the clock to the
 // earliest pending event — a frame hitting the air, a frame's airtime
-// ending, or a transmission's occupancy (ACK exchange or ACK timeout)
-// ending. A transmission occupies the medium only within its carrier-sense
+// ending, a transmission's occupancy (ACK exchange or ACK timeout)
+// ending, or a scheduled timer callback firing (ScheduleAt — the hook the
+// traffic layer in traffic.go uses for packet arrivals, and scenario code
+// uses for mobility epochs and churn). A transmission occupies the medium
+// only within its carrier-sense
 // neighborhood, so neighborhoods advance at their own pace: a short frame
 // in one cell completes and the next contention there begins while a long
 // frame still hangs in the air elsewhere. Under spatial reuse, utilization
@@ -221,17 +224,20 @@ const (
 	evAirEnd = iota // a frame's airtime ends: resolve the delivery
 	evOccEnd        // a transmission's occupancy ends: the neighborhood frees up
 	evStart         // a countdown expires: the frame hits the air
+	evTimer         // a scheduled callback fires (traffic arrivals, mobility epochs, churn)
 )
 
 // event is one entry in the scheduler's min-heap. Tx events carry their
 // transmission and tie-break by creation sequence; start events carry the
 // flow's index and a generation stamp — freezing or consuming the
 // countdown bumps the flow's generation, so superseded start events are
-// recognized and discarded lazily when they surface.
+// recognized and discarded lazily when they surface. Timer events carry
+// their callback and tie-break by schedule order.
 type event struct {
 	t    float64
 	seq  int64
 	r    *tx
+	fn   func()
 	kind uint8
 	gen  uint32
 }
@@ -305,9 +311,10 @@ type Sim struct {
 	HiddenCorruptions int // frames corrupted by hidden-terminal interference
 
 	// Pending events, a binary min-heap ordered by eventLess.
-	events []event
-	txSeq  int64
-	txFree []*tx // retired tx structs, recycled to keep the event path allocation-free
+	events   []event
+	txSeq    int64
+	timerSeq int64 // schedule order of timer events: their heap tie-break
+	txFree   []*tx // retired tx structs, recycled to keep the event path allocation-free
 
 	// Spatial index over transmitter positions (nil when CSRangeM <= 0 or
 	// nothing is placed); unplaced flows contend with everyone and ride
@@ -361,6 +368,23 @@ func (s *Sim) AddFlow(f *Flow) *Flow {
 // are rescheduled automatically; a predicate flipped from outside the
 // flow's own hooks needs a Wake so the indexed scheduler re-examines it.
 func (s *Sim) Wake(f *Flow) { s.enqueueAdmit(f) }
+
+// ScheduleAt registers fn to run when the virtual clock reaches t (in
+// seconds; a t already in the past runs at the current instant's drain).
+// Timer callbacks are the simulator's hook for traffic arrivals, mobility
+// epochs, and churn: they fire within Step's event drain, after the
+// deliveries, occupancy retirements, and countdown-expiry collection of
+// the same instant, in schedule order — so their RNG consumption (they may
+// draw from Sim.Rng) and their side effects (Wake, AddFlow, Reindex,
+// further ScheduleAt calls) are deterministic. Frames whose countdowns
+// expired at the same instant hit the air after the callbacks run.
+func (s *Sim) ScheduleAt(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.timerSeq++
+	s.pushEvent(event{t: t, kind: evTimer, seq: s.timerSeq, fn: fn})
+}
 
 // Now returns the virtual time elapsed so far, in seconds.
 func (s *Sim) Now() float64 { return s.now }
@@ -543,9 +567,27 @@ func (s *Sim) newTx() *tx {
 	return &tx{}
 }
 
+// Reindex rebuilds the spatial index from the flows' current Radio
+// geometry, in registration order. Scenario code that moves flows mid-run
+// (mobility epochs) swaps in updated Radio values from a timer callback
+// and calls Reindex from that same callback, so every subsequent
+// carrier-sense and interference query sees the new positions. The
+// rebuild consumes no randomness and visits flows in registration order,
+// so it is deterministic at any worker count. Interference pricing of
+// frames still in the air reads each flow's Radio pointer at settle time;
+// mobility code that wants already-airborne frames priced at their launch
+// geometry should install a fresh *Radio value rather than mutate the old
+// one in place (retired intervals keep the pointer they were sent under).
+func (s *Sim) Reindex() {
+	s.grid = nil
+	s.indexed = 0
+	s.unplaced = s.unplaced[:0]
+	s.ensureIndex()
+}
+
 // ensureIndex brings the spatial index up to date with Flows: placed flows
 // enter the grid under their registration index, unplaced flows join the
-// everyone-contends list. Positions are static once registered.
+// everyone-contends list. Positions are static between Reindex calls.
 func (s *Sim) ensureIndex() {
 	for ; s.indexed < len(s.Flows); s.indexed++ {
 		f := s.Flows[s.indexed]
@@ -733,10 +775,12 @@ func (s *Sim) Step() bool {
 			s.resolve(e.r)
 		case evOccEnd:
 			s.retire(e.r)
-		default: // evStart
+		case evStart:
 			if !s.staleStart(e) {
 				startFlows = append(startFlows, s.Flows[e.seq])
 			}
+		default: // evTimer
+			e.fn()
 		}
 	}
 	s.startFlows = startFlows

@@ -1,0 +1,283 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/modem"
+	"repro/internal/testbed"
+)
+
+// countingSource wraps a rand.Source and counts every draw, so tests can
+// assert a scenario consumed exactly zero randomness.
+type countingSource struct {
+	src   rand.Source
+	draws int
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
+
+// inService reports the packet a run left mid-transmission when its
+// window closed: neither pending nor settled, so accounting checks add it.
+func inService(f *Flow) int {
+	if f.inFlight {
+		return 1
+	}
+	return 0
+}
+
+// arrivalFlow builds an acked flow ready for AttachTraffic: fixed airtime,
+// fixed delivery probability, no backlog of its own.
+func arrivalFlow(name string, ft, pDeliver float64) *Flow {
+	return &Flow{
+		Name:      name,
+		Acked:     true,
+		FrameTime: func(int) float64 { return ft },
+		Deliver: func(rng *rand.Rand, _ int, _ Interference) bool {
+			return rng.Float64() < pDeliver
+		},
+	}
+}
+
+func TestTimersFireInScheduleOrder(t *testing.T) {
+	m := mac.Default(modem.Profile80211())
+	s := New(m, rand.New(rand.NewSource(1)))
+	var got []int
+	s.ScheduleAt(2e-3, func() { got = append(got, 2) })
+	s.ScheduleAt(1e-3, func() { got = append(got, 1) })
+	s.ScheduleAt(1e-3, func() { got = append(got, 10) }) // same instant: schedule order
+	s.ScheduleAt(1e-3, func() {
+		// Same-instant reschedule fires within the same drain.
+		s.ScheduleAt(1e-3, func() { got = append(got, 11) })
+	})
+	for s.Step() {
+	}
+	want := []int{1, 10, 11, 2}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 2e-3 {
+		t.Fatalf("clock %.6f, want 0.002", s.Now())
+	}
+}
+
+func TestTimerInThePastRunsAtCurrentInstant(t *testing.T) {
+	m := mac.Default(modem.Profile80211())
+	s := New(m, rand.New(rand.NewSource(1)))
+	fired := -1.0
+	s.ScheduleAt(1e-3, func() {
+		s.ScheduleAt(0, func() { fired = s.Now() }) // in the past: clamped to now
+	})
+	for s.Step() {
+	}
+	if fired != 1e-3 {
+		t.Fatalf("past-dated timer fired at %.6f, want clamped to 0.001", fired)
+	}
+}
+
+func TestIdleFlowZeroAirtimeZeroRNG(t *testing.T) {
+	// A flow whose arrival process never offers a packet must consume zero
+	// airtime and zero RNG draws: idle flows are free under the traffic
+	// layer. The counting source observes every Int63 the simulator pulls.
+	m := mac.Default(modem.Profile80211())
+	cs := &countingSource{src: rand.NewSource(7)}
+	s := New(m, rand.New(cs))
+	f := s.AddFlow(arrivalFlow("idle", 1e-3, 1))
+	s.AttachTraffic(f, TrafficConfig{Process: Poisson{RatePps: 0}})
+	s.Run()
+	if f.AirTime != 0 || f.Attempts != 0 || f.Delivered != 0 {
+		t.Fatalf("idle flow transmitted: attempts=%d delivered=%d airtime=%.9f",
+			f.Attempts, f.Delivered, f.AirTime)
+	}
+	if cs.draws != 0 {
+		t.Fatalf("idle flow consumed %d RNG draws, want 0", cs.draws)
+	}
+	if s.Now() != 0 || s.BusyTime() != 0 {
+		t.Fatalf("idle run advanced the medium: now=%.9f busy=%.9f", s.Now(), s.BusyTime())
+	}
+}
+
+func TestPoissonArrivalsDrainAndAccount(t *testing.T) {
+	// A lossless flow fed by a finite window of Poisson arrivals delivers
+	// every packet that arrived, and the medium is idle between arrivals
+	// (airtime well under the window at low load).
+	m := mac.Default(modem.Profile80211())
+	s := New(m, rand.New(rand.NewSource(11)))
+	f := s.AddFlow(arrivalFlow("poisson", 1e-3, 1))
+	q := s.AttachTraffic(f, TrafficConfig{Process: Poisson{RatePps: 200}})
+	const window = 0.5
+	s.RunUntil(window)
+	if q.Arrived < 50 || q.Arrived > 150 {
+		t.Fatalf("arrived %d packets in %.1fs at 200pps — process is off", q.Arrived, window)
+	}
+	if got := f.Delivered + f.Dropped + q.Pending() + inService(f); got != q.Arrived {
+		t.Fatalf("accounting leak: delivered %d + dropped %d + pending %d != arrived %d",
+			f.Delivered, f.Dropped, q.Pending(), q.Arrived)
+	}
+	// At 200 pps of 1 ms frames the flow is far from saturation: its own
+	// airtime must be a small fraction of the window.
+	if f.AirTime > 0.6*window {
+		t.Fatalf("non-saturated flow burned %.3fs of a %.3fs window", f.AirTime, window)
+	}
+}
+
+func TestOnOffArrivalsAreBursty(t *testing.T) {
+	// The on/off process must offer roughly MeanOn/(MeanOn+MeanOff) of the
+	// peak rate, and gaps must cluster: some interarrivals far exceed the
+	// on-period spacing (the silences).
+	rng := rand.New(rand.NewSource(5))
+	p := &OnOff{RatePps: 1000, MeanOnSec: 0.02, MeanOffSec: 0.08}
+	var total float64
+	long := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		g := p.NextGap(rng)
+		if g < 0 {
+			t.Fatal("on/off process ended early")
+		}
+		total += g
+		if g > 0.02 {
+			long++
+		}
+	}
+	rate := float64(n) / total
+	if rate < 100 || rate > 350 {
+		t.Fatalf("long-run rate %.0f pps, want near 200 (duty-cycled 1000)", rate)
+	}
+	if long == 0 {
+		t.Fatal("no silence-spanning gaps — process is not bursty")
+	}
+}
+
+func TestDeadlineExpiresStaleQueue(t *testing.T) {
+	// Two flows share one medium; flow a is saturated enough that flow b's
+	// tight-deadline packets often expire before service. Expired packets
+	// must be counted and never delivered.
+	m := mac.Default(modem.Profile80211())
+	s := New(m, rand.New(rand.NewSource(13)))
+	hog := s.AddFlow(backloggedFlow("hog", 4000, 2e-3, 1))
+	f := s.AddFlow(arrivalFlow("deadline", 1e-3, 1))
+	q := s.AttachTraffic(f, TrafficConfig{
+		Process:     Poisson{RatePps: 400},
+		DeadlineSec: 1e-3,
+	})
+	s.RunUntil(1.0)
+	if hog.Delivered == 0 || q.Arrived == 0 {
+		t.Fatalf("degenerate run: hog=%d arrived=%d", hog.Delivered, q.Arrived)
+	}
+	if q.Expired == 0 {
+		t.Fatal("tight deadline under contention expired nothing")
+	}
+	if got := f.Delivered + f.Dropped + q.Expired + q.Pending() + inService(f); got != q.Arrived {
+		t.Fatalf("accounting leak: %d delivered + %d dropped + %d expired + %d pending != %d arrived",
+			f.Delivered, f.Dropped, q.Expired, q.Pending(), q.Arrived)
+	}
+}
+
+func TestChurnStartStopWindow(t *testing.T) {
+	// A flow that joins at 0.2s and leaves at 0.4s must transmit only
+	// within that window, and abandon whatever was still queued when it
+	// left.
+	m := mac.Default(modem.Profile80211())
+	s := New(m, rand.New(rand.NewSource(17)))
+	f := s.AddFlow(arrivalFlow("churn", 1e-3, 1))
+	q := s.AttachTraffic(f, TrafficConfig{
+		Process:  Poisson{RatePps: 5000}, // saturating: a queue builds up
+		StartSec: 0.2,
+		StopSec:  0.4,
+	})
+	s.RunUntil(1.0)
+	if q.Arrived == 0 || f.Delivered == 0 {
+		t.Fatalf("flow never ran: arrived=%d delivered=%d", q.Arrived, f.Delivered)
+	}
+	if q.Abandoned == 0 {
+		t.Fatal("saturating flow left nothing behind at StopSec")
+	}
+	if got := f.Delivered + f.Dropped + q.Abandoned + q.Pending() + inService(f); got != q.Arrived {
+		t.Fatalf("accounting leak: %d delivered + %d dropped + %d abandoned + %d pending != %d arrived",
+			f.Delivered, f.Dropped, q.Abandoned, q.Pending(), q.Arrived)
+	}
+	// All airtime fits inside [start, stop] plus at most one trailing frame.
+	if s.Now() > 0.4+0.1 {
+		t.Fatalf("medium active until %.3fs — flow did not leave at 0.4s", s.Now())
+	}
+}
+
+func TestMidRunJoinViaTimer(t *testing.T) {
+	// Churn joins: a timer adds a brand-new flow mid-run; the scheduler
+	// indexes and serves it, and the result is identical to a second run
+	// with the same seed.
+	run := func() (int, float64) {
+		m := mac.Default(modem.Profile80211())
+		s := New(m, rand.New(rand.NewSource(23)))
+		s.AddFlow(backloggedFlow("base", 500, 1e-3, 1))
+		var late *Flow
+		s.ScheduleAt(0.05, func() {
+			late = s.AddFlow(backloggedFlow("late", 100, 1e-3, 1))
+		})
+		s.Run()
+		return late.Delivered, s.Now()
+	}
+	d1, t1 := run()
+	d2, t2 := run()
+	if d1 != 100 {
+		t.Fatalf("late joiner delivered %d of 100", d1)
+	}
+	if d1 != d2 || t1 != t2 {
+		t.Fatalf("mid-run join not deterministic: (%d, %.9f) vs (%d, %.9f)", d1, t1, d2, t2)
+	}
+}
+
+func TestReindexMovesCarrierSenseNeighborhoods(t *testing.T) {
+	// Two transmitter pairs start out-of-range (spatial reuse: both cells
+	// drain concurrently). A mobility timer moves one transmitter next to
+	// the other and calls Reindex; afterwards the flows contend, so total
+	// elapsed time must exceed a run where they stay apart.
+	elapsed := func(move bool) float64 {
+		m := mac.Default(modem.Profile80211())
+		s := New(m, rand.New(rand.NewSource(29)))
+		s.CSRangeM = 30
+		mk := func(x float64) *Flow {
+			f := backloggedFlow("f", 1500, 1e-3, 1)
+			f.Radio = &Radio{
+				TxPos: testbed.Point{X: x, Y: 0},
+				RxPos: testbed.Point{X: x, Y: 5},
+				SNRdB: 30,
+			}
+			return f
+		}
+		a := mk(0)
+		s.AddFlow(a)
+		s.AddFlow(mk(200))
+		if move {
+			s.ScheduleAt(0.05, func() {
+				a.Radio = &Radio{TxPos: testbed.Point{X: 199, Y: 0}, RxPos: testbed.Point{X: 199, Y: 5}, SNRdB: 30}
+				s.Reindex()
+				s.Wake(a)
+			})
+		}
+		s.Run()
+		return s.Now()
+	}
+	apart := elapsed(false)
+	merged := elapsed(true)
+	if merged <= apart*1.2 {
+		t.Fatalf("merging neighborhoods did not slow the floor: apart %.4fs, merged %.4fs", apart, merged)
+	}
+	// And the merged run is reproducible.
+	if m2 := elapsed(true); math.Abs(m2-merged) != 0 {
+		t.Fatalf("mobility run not deterministic: %.9f vs %.9f", merged, m2)
+	}
+}

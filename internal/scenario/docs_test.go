@@ -1,0 +1,32 @@
+package scenario
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestArchitectureDocCoversEverySpecField is the scenario arm of the
+// docs-freshness contract: every top-level JSON field of Spec must be
+// mentioned (backtick-quoted) in docs/ARCHITECTURE.md's "scenarios as
+// data" section, so growing the spec without documenting the new field
+// fails CI — the same way internal/experiments gates experiment names and
+// internal/serve gates HTTP endpoints.
+func TestArchitectureDocCoversEverySpecField(t *testing.T) {
+	data, err := os.ReadFile("../../docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("docs/ARCHITECTURE.md must exist: %v", err)
+	}
+	doc := string(data)
+	typ := reflect.TypeOf(Spec{})
+	for i := 0; i < typ.NumField(); i++ {
+		tag := strings.Split(typ.Field(i).Tag.Get("json"), ",")[0]
+		if tag == "" || tag == "-" {
+			continue
+		}
+		if !strings.Contains(doc, "`"+tag+"`") {
+			t.Errorf("docs/ARCHITECTURE.md does not mention scenario spec field %q (expected a `%s` reference)", tag, tag)
+		}
+	}
+}

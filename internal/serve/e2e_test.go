@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 // TestE2EServiceMatchesGolden is the end-to-end proof of the service's
@@ -214,6 +215,47 @@ func awaitJob(t *testing.T, ts *httptest.Server, id string, useStream bool) Stat
 			t.Fatalf("job %s stuck in state %s", id, st.State)
 		case <-newTimer(20 * time.Millisecond).C:
 		}
+	}
+}
+
+// TestE2EInlineScenarioMatchesGolden closes the loop on the declarative
+// path at service scale: a job carrying the arrivals builtin as an
+// *inline* spec must produce exactly the bytes the registered "arrivals"
+// experiment is pinned to — the service treats a spec-by-value and a
+// spec-by-name identically.
+func TestE2EInlineScenarioMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick arrivals sweep; skipped with -short")
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "experiments", "testdata", "golden", "arrivals.txt"))
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/experiments -run TestGoldenOutputs -update`): %v", err)
+	}
+	_, ts := newTestServer(t, Config{MaxRunning: 2, CacheEntries: -1})
+
+	_, raw := scenario.Builtin("arrivals")
+	body, err := json.Marshal(Spec{Version: "v1", Experiment: "scenario",
+		Quick: true, Scenario: json.RawMessage(raw)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST scenario job = %d (%v)", resp.StatusCode, err)
+	}
+	final := awaitJob(t, ts, st.ID, true)
+	if final.State != StateDone {
+		t.Fatalf("scenario job finished %s: %s", final.State, final.Error)
+	}
+	if out := fetchOutput(t, ts, st.ID); !bytes.Equal(out, golden) {
+		t.Errorf("inline scenario output differs from the arrivals golden (%d vs %d bytes)",
+			len(out), len(golden))
 	}
 }
 

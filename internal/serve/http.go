@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"repro/internal/experiments"
 )
 
 // Endpoints lists every route the daemon serves, in the notation
@@ -20,6 +22,7 @@ func Endpoints() []string {
 		"GET /jobs/{id}/output",
 		"GET /jobs/{id}/stream",
 		"POST /jobs/{id}/cancel",
+		"GET /spec",
 		"GET /healthz",
 		"GET /metrics",
 	}
@@ -33,6 +36,7 @@ func Endpoints() []string {
 //	GET  /jobs/{id}/output    the exact ssbench stdout bytes (200 when done)
 //	GET  /jobs/{id}/stream    chunked JSON status lines until terminal
 //	POST /jobs/{id}/cancel    cooperative cancellation
+//	GET  /spec                the accepted job-spec wire format
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus-style text counters
 func (s *Server) Handler() http.Handler {
@@ -43,6 +47,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/output", s.handleOutput)
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /spec", s.handleSpec)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -179,6 +184,54 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// SpecDoc is the machine-readable description of the job wire format
+// served at GET /spec, so clients can discover the accepted fields (and
+// the experiment names this build registers) without reading the source.
+type SpecDoc struct {
+	// Version is the wire-format version this server speaks.
+	Version string `json:"version"`
+	// Experiments lists every name POST /jobs accepts, plus "all".
+	Experiments []string `json:"experiments"`
+	// Fields maps each accepted top-level spec field to its meaning.
+	Fields map[string]string `json:"fields"`
+	// Options maps each field of the "options" sub-object to its meaning.
+	Options map[string]string `json:"options"`
+}
+
+// specDoc builds the GET /spec response. The field lists are maintained
+// by hand next to the Spec struct's tags; the serve unit tests hold them
+// in sync by diffing against the struct's actual JSON keys.
+func specDoc() SpecDoc {
+	return SpecDoc{
+		Version:     "v1",
+		Experiments: append(experiments.Names(), "all", "scenario"),
+		Fields: map[string]string{
+			"version":     `wire-format version: omit or "v1"`,
+			"experiment":  "registered experiment name, or \"all\" (required)",
+			"seed":        "base random seed (default 1)",
+			"quick":       "run the shrunken ~10x-faster workloads",
+			"workers":     "engine worker bound; 0 = one per CPU (never changes output bytes)",
+			"options":     "experiment-shaping knobs; see \"options\" below",
+			"scenario":    `inline declarative scenario spec; required by and exclusive to experiment "scenario"`,
+			"timeout_sec": "cap on run time; 0 = server default",
+			"cells":       "deprecated flat alias for options.cells",
+			"cs_ranges":   "deprecated flat alias for options.cs_ranges",
+			"window_sec":  "deprecated flat alias for options.window_sec",
+			"legacy":      "deprecated flat alias for options.legacy",
+		},
+		Options: map[string]string{
+			"cells":      "cellsweep's capacity-vs-cell-count sweep",
+			"cs_ranges":  "cellsweep's carrier-sense sweep (meters)",
+			"window_sec": "fixed-time-window saturation mode",
+			"legacy":     "pre-model interference behavior",
+		},
+	}
+}
+
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, specDoc())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

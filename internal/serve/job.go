@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
@@ -8,13 +10,39 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
+
+// Options groups the experiment-shaping knobs (ssbench's -cells, -cs,
+// -window, -legacy) into one typed sub-object of the job spec. It mirrors
+// experiments.Options field for field, so a spec's options translate into
+// Params without interpretation.
+type Options struct {
+	// Cells is cellsweep's capacity-vs-cell-count sweep (ssbench -cells).
+	Cells []int `json:"cells,omitempty"`
+	// CSRanges is cellsweep's carrier-sense sweep in meters (ssbench -cs).
+	CSRanges []float64 `json:"cs_ranges,omitempty"`
+	// WindowSec selects fixed-time-window saturation mode (ssbench -window).
+	WindowSec float64 `json:"window_sec,omitempty"`
+	// Legacy selects the pre-model interference behavior (ssbench -legacy).
+	Legacy bool `json:"legacy,omitempty"`
+}
 
 // Spec is the client-facing description of one experiment job, as posted
 // to POST /jobs. The zero value of every optional field means "ssbench's
 // default": seed nil is seed 1, empty sweep lists are the standard sweep
 // points, workers 0 is one engine worker per CPU.
+//
+// The wire format is versioned: "version" empty or "v1" selects this
+// format; anything else is rejected so a future v2 can change semantics
+// without silently misreading old clients. The experiment-shaping knobs
+// live in the "options" sub-object; the original flat spellings (cells,
+// cs_ranges, window_sec, legacy) remain accepted as aliases for
+// backward compatibility, but mixing the two forms in one spec is
+// rejected rather than guessed at.
 type Spec struct {
+	// Version selects the wire format: "" or "v1". Anything else is a 400.
+	Version string `json:"version,omitempty"`
 	// Experiment is a registered experiment name or "all" (ssbench's
 	// argument). Case-insensitive.
 	Experiment string `json:"experiment"`
@@ -27,22 +55,39 @@ type Spec struct {
 	// contract it cannot change the output bytes, so it is excluded from
 	// the job's cache key.
 	Workers int `json:"workers,omitempty"`
-	// Cells is cellsweep's capacity-vs-cell-count sweep (ssbench -cells).
-	Cells []int `json:"cells,omitempty"`
-	// CSRanges is cellsweep's carrier-sense sweep in meters (ssbench -cs).
-	CSRanges []float64 `json:"cs_ranges,omitempty"`
-	// WindowSec selects fixed-time-window saturation mode (ssbench -window).
-	WindowSec float64 `json:"window_sec,omitempty"`
-	// Legacy selects the pre-model interference behavior (ssbench -legacy).
-	Legacy bool `json:"legacy,omitempty"`
+	// Options groups the experiment-shaping knobs. After normalize it is
+	// always non-nil with the default sweeps filled in; on the wire it may
+	// be omitted in favor of the flat aliases below.
+	Options *Options `json:"options,omitempty"`
+	// Scenario is an inline declarative scenario spec (the same JSON
+	// ssbench -scenario reads from a file), required by — and only
+	// accepted with — the generic "scenario" experiment. It is parsed
+	// strictly: unknown fields are rejected by name.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
 	// TimeoutSec caps this job's run time; 0 uses the server's default.
 	// A timed-out job is cooperatively canceled and reported failed.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+
+	// Flat aliases for Options, the pre-versioning wire spelling. Folded
+	// into Options by normalize; setting both forms at once is an error.
+	Cells     []int     `json:"cells,omitempty"`
+	CSRanges  []float64 `json:"cs_ranges,omitempty"`
+	WindowSec float64   `json:"window_sec,omitempty"`
+	Legacy    bool      `json:"legacy,omitempty"`
 }
 
-// normalize lower-cases the experiment, fills defaults, and validates,
-// returning the canonical Spec every later stage (cache key, params) uses.
+// flatOptionsSet reports whether any of the flat alias fields is set.
+func (sp Spec) flatOptionsSet() bool {
+	return len(sp.Cells) > 0 || len(sp.CSRanges) > 0 || sp.WindowSec != 0 || sp.Legacy
+}
+
+// normalize lower-cases the experiment, folds the flat option aliases
+// into the Options sub-object, fills defaults, and validates, returning
+// the canonical Spec every later stage (cache key, params) uses.
 func (sp Spec) normalize() (Spec, error) {
+	if sp.Version != "" && sp.Version != "v1" {
+		return sp, fmt.Errorf("unsupported spec version %q (this server speaks \"v1\"; omit the field or send \"v1\")", sp.Version)
+	}
 	sp.Experiment = strings.ToLower(strings.TrimSpace(sp.Experiment))
 	if sp.Experiment == "" {
 		return sp, fmt.Errorf("spec is missing an experiment name (one of %s, or \"all\")",
@@ -62,12 +107,36 @@ func (sp Spec) normalize() (Spec, error) {
 	if sp.TimeoutSec < 0 {
 		return sp, fmt.Errorf("timeout_sec %g < 0", sp.TimeoutSec)
 	}
-	d := experiments.DefaultParams()
-	if len(sp.Cells) == 0 {
-		sp.Cells = d.Cells
+	switch {
+	case sp.Options != nil && sp.flatOptionsSet():
+		return sp, fmt.Errorf(`spec sets both the "options" object and a flat option field (cells, cs_ranges, window_sec, or legacy); use one form`)
+	case sp.Options == nil:
+		sp.Options = &Options{Cells: sp.Cells, CSRanges: sp.CSRanges,
+			WindowSec: sp.WindowSec, Legacy: sp.Legacy}
 	}
-	if len(sp.CSRanges) == 0 {
-		sp.CSRanges = d.CSRanges
+	sp.Cells, sp.CSRanges, sp.WindowSec, sp.Legacy = nil, nil, 0, false
+	d := experiments.DefaultParams()
+	if len(sp.Options.Cells) == 0 {
+		sp.Options.Cells = d.Options.Cells
+	}
+	if len(sp.Options.CSRanges) == 0 {
+		sp.Options.CSRanges = d.Options.CSRanges
+	}
+	switch {
+	case sp.Experiment == "scenario" && len(sp.Scenario) == 0:
+		return sp, fmt.Errorf(`experiment "scenario" requires an inline "scenario" spec object`)
+	case sp.Experiment != "scenario" && len(sp.Scenario) > 0:
+		return sp, fmt.Errorf(`"scenario" is only accepted with experiment "scenario", not %q`, sp.Experiment)
+	case len(sp.Scenario) > 0:
+		if _, err := scenario.Parse(sp.Scenario); err != nil {
+			return sp, fmt.Errorf("bad scenario spec: %w", err)
+		}
+		// Canonicalize the raw bytes so the cache key is whitespace-blind.
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, sp.Scenario); err != nil {
+			return sp, fmt.Errorf("bad scenario spec: %w", err)
+		}
+		sp.Scenario = json.RawMessage(compact.Bytes())
 	}
 	if err := sp.params(nil).Validate(); err != nil {
 		return sp, err
@@ -82,16 +151,27 @@ func (sp Spec) params(m *engine.Monitor) experiments.Params {
 	if sp.Seed != nil {
 		seed = *sp.Seed
 	}
-	return experiments.Params{
-		Seed:      seed,
-		Quick:     sp.Quick,
-		Workers:   sp.Workers,
-		Cells:     sp.Cells,
-		CSRanges:  sp.CSRanges,
-		WindowSec: sp.WindowSec,
-		Legacy:    sp.Legacy,
-		Monitor:   m,
+	opts := experiments.Options{}
+	if sp.Options != nil {
+		opts = experiments.Options(*sp.Options)
 	}
+	p := experiments.Params{
+		Seed:    seed,
+		Quick:   sp.Quick,
+		Workers: sp.Workers,
+		Options: opts,
+		Monitor: m,
+	}
+	if len(sp.Scenario) > 0 {
+		// Already validated by normalize; a parse failure here would mean
+		// the spec was mutated after normalization.
+		scen, err := scenario.Parse(sp.Scenario)
+		if err != nil {
+			panic(fmt.Sprintf("normalized spec no longer parses: %v", err))
+		}
+		p.Scenario = scen
+	}
+	return p
 }
 
 // Key is the output-cache key of a normalized Spec: every field that can
@@ -100,14 +180,20 @@ func (sp Spec) params(m *engine.Monitor) experiments.Params {
 // worker count, so a seed-1 quick fig12 at 1 worker and at 8 workers are
 // the same cache entry (the e2e suite proves the contract holds).
 // TimeoutSec is absent too: it changes whether a job finishes, never what
-// a finished job printed.
+// a finished job printed — and Version likewise, since "" and "v1" name
+// the same format. The scenario bytes are included compacted, so
+// re-submitting the same spec with different whitespace still hits.
 func (sp Spec) Key() string {
 	seed := int64(1)
 	if sp.Seed != nil {
 		seed = *sp.Seed
 	}
-	return fmt.Sprintf("%s|seed=%d|quick=%t|cells=%v|cs=%v|window=%g|legacy=%t",
-		sp.Experiment, seed, sp.Quick, sp.Cells, sp.CSRanges, sp.WindowSec, sp.Legacy)
+	o := Options{}
+	if sp.Options != nil {
+		o = *sp.Options
+	}
+	return fmt.Sprintf("%s|seed=%d|quick=%t|cells=%v|cs=%v|window=%g|legacy=%t|scenario=%s",
+		sp.Experiment, seed, sp.Quick, o.Cells, o.CSRanges, o.WindowSec, o.Legacy, sp.Scenario)
 }
 
 // State is a job's lifecycle position. Terminal states are done, failed,
