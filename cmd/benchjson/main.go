@@ -10,10 +10,14 @@
 // becomes one record with its package (from the preceding "pkg:" line),
 // iterations, ns/op, and any extra b.ReportMetric pairs.
 //
-// -require REGEXP exits nonzero unless at least one parsed benchmark's
-// "package.Name" matches — CI's guard against a perf-critical benchmark
-// suite silently dropping out of the artifact (e.g. the netsim
-// interference hot path).
+// -require REGEXP[@UNIT] exits nonzero unless at least one parsed
+// benchmark's "package.Name" matches — and, with the @UNIT suffix, that a
+// matching benchmark actually reports the named metric (e.g.
+// -require 'StepScaling/flows=10000$@ns/event'). The flag is repeatable;
+// every requirement must be met. This is CI's guard against a
+// perf-critical benchmark — or just its ReportMetric line — silently
+// dropping out of the artifact (e.g. the netsim interference hot path or
+// the StepScaling per-event metrics the baseline gate watches).
 //
 // -baseline FILE compares this run against a committed record (the repo's
 // BENCH_netsim.json): every baseline benchmark must appear in the current
@@ -57,18 +61,15 @@ type Record struct {
 }
 
 func main() {
-	require := flag.String("require", "", "fail unless a parsed benchmark's package.Name matches this regexp")
+	var requires requireFlags
+	flag.Var(&requires, "require", "fail unless a parsed benchmark's package.Name matches this REGEXP[@UNIT]; repeatable, all must be met")
 	baseline := flag.String("baseline", "", "fail if any benchmark in this record regressed past -max-regress")
 	maxRegress := flag.Float64("max-regress", 5, "tolerated slowdown factor for -baseline (single-shot CI timings are noisy)")
 	flag.Parse()
-	var requireRE *regexp.Regexp
-	if *require != "" {
-		re, err := regexp.Compile(*require)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: bad -require %q: %v\n", *require, err)
-			os.Exit(2)
-		}
-		requireRE = re
+	reqs, err := parseRequirements(requires)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
 	}
 	// The baseline is read before any output so a bad path fails fast —
 	// and so a caller redirecting stdout over the baseline file cannot
@@ -117,8 +118,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
-	if requireRE != nil && !anyMatches(rec.Benchmarks, requireRE) {
-		fmt.Fprintf(os.Stderr, "benchjson: no benchmark matches -require %q — the perf artifact would silently drop that suite\n", *require)
+	if unmet := unmetRequirements(rec.Benchmarks, reqs); len(unmet) > 0 {
+		for _, msg := range unmet {
+			fmt.Fprintf(os.Stderr, "benchjson: %s — the perf artifact would silently drop it\n", msg)
+		}
 		os.Exit(1)
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -188,8 +191,11 @@ func compareBaseline(base, cur []Benchmark, factor float64) []string {
 }
 
 // lowerIsBetter reports whether a metric unit improves downward (latencies
-// like ns/op or ns/event) rather than upward (rates like frames/s).
-func lowerIsBetter(unit string) bool { return !strings.Contains(unit, "/s") }
+// like ns/op or ns/event) rather than upward (rates like frames/s, ratios
+// like speedup-x).
+func lowerIsBetter(unit string) bool {
+	return !strings.Contains(unit, "/s") && !strings.Contains(unit, "speedup")
+}
 
 // isFiniteRatioable reports whether v can sit on either side of a
 // regression ratio: strictly positive and finite.
@@ -197,14 +203,75 @@ func isFiniteRatioable(v float64) bool {
 	return v > 0 && !math.IsInf(v, 1)
 }
 
-// anyMatches reports whether any benchmark's "package.Name" matches re.
-func anyMatches(benchmarks []Benchmark, re *regexp.Regexp) bool {
-	for _, b := range benchmarks {
-		if re.MatchString(b.Package + "." + b.Name) {
-			return true
+// requireFlags collects repeated -require values.
+type requireFlags []string
+
+func (r *requireFlags) String() string { return strings.Join(*r, ",") }
+func (r *requireFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+// requirement is one parsed -require value: a pattern over "package.Name",
+// plus an optional metric unit the matching benchmark must report.
+type requirement struct {
+	raw  string
+	re   *regexp.Regexp
+	unit string // "" = presence of the benchmark alone suffices
+}
+
+// parseRequirements compiles -require values of the form REGEXP[@UNIT].
+// The unit is split on the last "@" so regexp syntax containing "@" stays
+// expressible (units themselves never contain one).
+func parseRequirements(raw []string) ([]requirement, error) {
+	reqs := make([]requirement, 0, len(raw))
+	for _, v := range raw {
+		pat, unit := v, ""
+		if i := strings.LastIndex(v, "@"); i >= 0 {
+			pat, unit = v[:i], v[i+1:]
+			if unit == "" {
+				return nil, fmt.Errorf("bad -require %q: empty unit after @", v)
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("bad -require %q: %v", v, err)
+		}
+		reqs = append(reqs, requirement{raw: v, re: re, unit: unit})
+	}
+	return reqs, nil
+}
+
+// unmetRequirements returns one message per -require value no benchmark
+// satisfies: the pattern must match some "package.Name", and when a unit
+// is named, a matching benchmark must report that metric ("ns/op" counts —
+// every parsed benchmark has it).
+func unmetRequirements(benchmarks []Benchmark, reqs []requirement) []string {
+	var unmet []string
+	for _, req := range reqs {
+		matched, withUnit := false, false
+		for _, b := range benchmarks {
+			if !req.re.MatchString(b.Package + "." + b.Name) {
+				continue
+			}
+			matched = true
+			if req.unit == "" || req.unit == "ns/op" {
+				withUnit = true
+				break
+			}
+			if _, ok := b.Metrics[req.unit]; ok {
+				withUnit = true
+				break
+			}
+		}
+		switch {
+		case !matched:
+			unmet = append(unmet, fmt.Sprintf("no benchmark matches -require %q", req.raw))
+		case !withUnit:
+			unmet = append(unmet, fmt.Sprintf("benchmarks match -require %q but none reports metric %q", req.raw, req.unit))
 		}
 	}
-	return false
+	return unmet
 }
 
 // parseBenchLine parses one "BenchmarkFoo-8 N value unit [value unit]..."

@@ -2,7 +2,6 @@ package main
 
 import (
 	"math"
-	"regexp"
 	"strings"
 	"testing"
 )
@@ -23,25 +22,67 @@ func TestParseBenchLine(t *testing.T) {
 	}
 }
 
-func TestAnyMatchesGatesOnPackageAndName(t *testing.T) {
+func TestRequirementsGateOnPackageAndName(t *testing.T) {
 	// The CI contract: -require 'netsim.*Interference' must accept an
 	// artifact carrying the interference benchmarks and reject one where
 	// the suite vanished (or only other packages survived).
-	re := regexp.MustCompile(`netsim.*Interference`)
+	reqs, err := parseRequirements([]string{`netsim.*Interference`})
+	if err != nil {
+		t.Fatal(err)
+	}
 	with := []Benchmark{
 		{Name: "BenchmarkFig12SyncError", Package: "repro"},
 		{Name: "BenchmarkInterferenceRateAware", Package: "repro/internal/netsim"},
 	}
-	if !anyMatches(with, re) {
-		t.Fatal("interference benchmark present but not matched")
+	if unmet := unmetRequirements(with, reqs); len(unmet) != 0 {
+		t.Fatalf("interference benchmark present but not matched: %v", unmet)
 	}
 	without := []Benchmark{
 		{Name: "BenchmarkFig12SyncError", Package: "repro"},
 		{Name: "BenchmarkSaturatedDomain", Package: "repro/internal/netsim"},
 		{Name: "BenchmarkInterferenceRateAware", Package: "repro/internal/other"},
 	}
-	if anyMatches(without, re) {
-		t.Fatal("matched an artifact with no netsim interference benchmark")
+	if unmet := unmetRequirements(without, reqs); len(unmet) != 1 {
+		t.Fatalf("artifact with no netsim interference benchmark passed: %v", unmet)
+	}
+}
+
+func TestRequirementsGateOnMetricUnit(t *testing.T) {
+	// The StepScaling guard: the benchmark being present is not enough —
+	// its ReportMetric lines must have survived into the artifact, or the
+	// baseline gate downstream would silently compare nothing.
+	benchmarks := []Benchmark{
+		{Name: "BenchmarkStepScaling/flows=10000", Package: "repro/internal/netsim",
+			Metrics: map[string]float64{"ns/event": 7500, "events/s": 133000}},
+		{Name: "BenchmarkStepScaling/flows=100000", Package: "repro/internal/netsim"},
+	}
+	reqs, err := parseRequirements([]string{
+		`StepScaling/flows=10000$@ns/event`, // present with the metric
+		`StepScaling/flows=10000$@ns/op`,    // ns/op is implicit on every benchmark
+		`StepScaling/flows=100000@ns/event`, // benchmark there, metric dropped
+		`StepScaling/flows=1000$@ns/event`,  // benchmark missing entirely
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmet := unmetRequirements(benchmarks, reqs)
+	if len(unmet) != 2 {
+		t.Fatalf("want 2 unmet requirements, got %d: %v", len(unmet), unmet)
+	}
+	if !strings.Contains(unmet[0], "ns/event") || !strings.Contains(unmet[0], "flows=100000") {
+		t.Errorf("first violation should name the dropped metric: %q", unmet[0])
+	}
+	if !strings.Contains(unmet[1], "flows=1000$") {
+		t.Errorf("second violation should name the missing benchmark: %q", unmet[1])
+	}
+}
+
+func TestParseRequirementsRejectsBadValues(t *testing.T) {
+	if _, err := parseRequirements([]string{`StepScaling@`}); err == nil {
+		t.Error("empty unit after @ accepted")
+	}
+	if _, err := parseRequirements([]string{`[unclosed`}); err == nil {
+		t.Error("bad regexp accepted")
 	}
 }
 
@@ -104,6 +145,8 @@ func TestLowerIsBetter(t *testing.T) {
 		want bool
 	}{
 		{"ns/op", true}, {"ns/event", true}, {"frames/s", false}, {"events/s", false},
+		{"speedup-x", false}, // a ratio: the parallel path getting faster is not a regression
+		{"B/op", true}, {"allocs/op", true},
 	} {
 		if lowerIsBetter(c.unit) != c.want {
 			t.Fatalf("lowerIsBetter(%q) != %v", c.unit, c.want)

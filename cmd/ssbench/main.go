@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -37,6 +39,8 @@ var (
 	window   = flag.Float64("window", 0, "fixed-time-window saturation mode for cell/cellsweep: drain unbounded backlogs for this many virtual seconds (0 = drain fixed per-client backlogs)")
 	legacy   = flag.Bool("legacy", false, "run cell/cellsweep/crosstraffic* with their pre-model interference behavior (cellsweep keeps its binary CaptureDB gate; cell and the crosstraffic variants historically modeled no interference at all)")
 	scenFile = flag.String("scenario", "", "path to a declarative scenario spec (JSON); with no experiment argument, runs the generic \"scenario\" experiment over it")
+	cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof)")
+	memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit (go tool pprof)")
 )
 
 // workers translates the flags into the engine's convention: 1 worker when
@@ -82,6 +86,8 @@ func main() {
 		}
 		return
 	}
+	finishProfiles := startProfiles()
+	defer finishProfiles()
 	p := params()
 	if *scenFile != "" {
 		data, err := os.ReadFile(*scenFile)
@@ -118,8 +124,52 @@ func main() {
 		time.Since(start).Seconds(), engine.WorkerCount(workers())) //sslint:allow detwallclock stderr-only timing report; stdout stays byte-identical
 }
 
+// startProfiles begins whatever profiling -cpuprofile/-memprofile request
+// and returns the finalizer that writes the files out. Profiling observes
+// the run without perturbing it — no RNG draw or event ordering depends on
+// the profiler's sampling — so a profiled run's stdout stays byte-identical
+// to an unprofiled one. This is the offline capture path for the netsim hot
+// loop (ssserve exposes the same data live via /debug/pprof/).
+func startProfiles() func() {
+	var cpu *os.File
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		cpu = f
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if *memprof != "" {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -memprofile: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			// Settle the heap first so the live-object numbers are not
+			// dominated by garbage the next GC would have reclaimed; the
+			// allocs profile keeps cumulative allocation sites either way.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	}
+}
+
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] [-cells N,N,...] [-cs M,M,...] [-window SEC] [-legacy] <%s|all>\n       ssbench -scenario spec.json\n       ssbench -list\n",
+	fmt.Fprintf(os.Stderr, "usage: ssbench [-seed N] [-quick] [-parallel=false] [-workers N] [-cells N,N,...] [-cs M,M,...] [-window SEC] [-legacy] [-cpuprofile FILE] [-memprofile FILE] <%s|all>\n       ssbench -scenario spec.json\n       ssbench -list\n",
 		strings.Join(experiments.Names(), "|"))
 }
 

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 
 	"repro/internal/mac"
@@ -155,5 +156,40 @@ func TestEventClockNeverRunsBackward(t *testing.T) {
 			t.Fatalf("clock ran backward: %.9f -> %.9f", prev, s.Now())
 		}
 		prev = s.Now()
+	}
+}
+
+func TestSortEdgesMatchesReferenceSort(t *testing.T) {
+	// sortEdges is a hand-rolled quicksort with an inlined comparator; its
+	// output feeds an order-sensitive float accumulation, so it must agree
+	// exactly with the library sort on every input — including the heavy
+	// duplicate-key distributions the sweep produces (many intervals share
+	// endpoints and powers). Because (t, dp) is total over distinct
+	// elements, agreement is plain slice equality.
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(300)
+		got := make([]edge, n)
+		for i := range got {
+			// Coarse value grids force long runs of equal keys.
+			got[i] = edge{
+				t:  float64(rng.Intn(8)) * 1e-3,
+				dp: float64(rng.Intn(5)-2) * 0.5,
+			}
+		}
+		want := append([]edge(nil), got...)
+		slices.SortFunc(want, func(a, b edge) int {
+			if edgeLess(a, b) {
+				return -1
+			}
+			if edgeLess(b, a) {
+				return 1
+			}
+			return 0
+		})
+		sortEdges(got)
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d (n=%d): sortEdges diverged from reference sort", trial, n)
+		}
 	}
 }

@@ -94,7 +94,6 @@
 package netsim
 
 import (
-	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
@@ -168,30 +167,27 @@ type Flow struct {
 	// of this flow was interfered with the model engaged).
 	RateCorruption []RateCorruption
 
-	// Head-of-line frame state.
-	inFlight bool
+	// Head-of-line frame state (touched once per frame, not per event).
 	rateIdx  int
 	attempt  int
 	frameAir float64
 
-	// Contention state: the frozen DCF backoff counter, in whole slots.
-	// counterValid distinguishes a counter of zero from "needs a draw".
-	counter      int
-	counterValid bool
-
-	// Event-scheduler state.
-	active    *tx     // in-flight transmission; nil while contending or idle
-	waiting   bool    // counting down (idleSince below is valid)
-	idleSince float64 // when the current DIFS + countdown began
-
-	// Index bookkeeping.
-	idx        int32    // position in Sim.Flows: the flow's id in the spatial index
-	queued     bool     // already on the admission queue
-	startGen   uint32   // generation of the pending start event (freeze/resume invalidates)
-	mark       uint32   // last Sim.markGen that visited this flow (scratch)
-	starterIdx int32    // this flow's slot in the current starter set (scratch)
-	past       []pastTx // finished air intervals, kept while they can still interfere (bounded-interference mode)
+	// idx is the flow's position in Sim.Flows: its id in the spatial index
+	// and its slot in the simulator's per-flow state arrays. The per-event
+	// hot state itself (backoff counter, countdown, in-flight bits) lives
+	// in dense arrays on Sim, indexed by idx, so the event loop walks flat
+	// memory instead of chasing a pointer per neighbor.
+	idx int32
 }
+
+// Per-flow state bits, kept in Sim.flags (struct-of-arrays): one byte per
+// flow instead of four bools scattered across a pointer-sized struct.
+const (
+	fInFlight     uint8 = 1 << iota // a head-of-line frame is in service
+	fCounterValid                   // counter holds a live draw (distinguishes 0 from "needs a draw")
+	fWaiting                        // counting down (idleSince is valid)
+	fQueued                         // already on the admission queue
+)
 
 // tx is one transmission on the air: the unit the event scheduler moves
 // the clock between. base/wait/cost mirror the MAC cost arithmetic
@@ -227,17 +223,18 @@ const (
 	evTimer         // a scheduled callback fires (traffic arrivals, mobility epochs, churn)
 )
 
-// event is one entry in the scheduler's min-heap. Tx events carry their
-// transmission and tie-break by creation sequence; start events carry the
-// flow's index and a generation stamp — freezing or consuming the
-// countdown bumps the flow's generation, so superseded start events are
-// recognized and discarded lazily when they surface. Timer events carry
-// their callback and tie-break by schedule order.
+// event is one entry in the scheduler's min-heap, kept at 32 bytes so
+// heap moves stay cheap. Tx events carry their transmission and tie-break
+// by creation sequence; start events carry the flow's index and a
+// generation stamp — freezing or consuming the countdown bumps the flow's
+// generation, so superseded start events are recognized and discarded
+// lazily when they surface. Timer events tie-break by schedule order and
+// reuse gen as the slot of their callback in Sim.timerFns (the callback
+// pointer would push the struct past 32 bytes for every event kind).
 type event struct {
 	t    float64
 	seq  int64
 	r    *tx
-	fn   func()
 	kind uint8
 	gen  uint32
 }
@@ -310,11 +307,35 @@ type Sim struct {
 	CollisionRounds   int // transmit groups that collided (>1 simultaneous in-range frame)
 	HiddenCorruptions int // frames corrupted by hidden-terminal interference
 
-	// Pending events, a binary min-heap ordered by eventLess.
+	// Pending events, a 4-ary min-heap ordered by eventLess: shallower
+	// than a binary heap, so a pop touches fewer cache lines on the way
+	// down. eventLess is total except between a flow's superseded and
+	// current start events at one instant, which staleStart filters
+	// identically in either pop order — so the heap arity never changes
+	// the processed event sequence.
 	events   []event
 	txSeq    int64
 	timerSeq int64 // schedule order of timer events: their heap tie-break
 	txFree   []*tx // retired tx structs, recycled to keep the event path allocation-free
+
+	// Timer callbacks parked outside the heap (events stay pointer-light):
+	// a timer event's gen field addresses its slot here, recycled on fire.
+	timerFns  []func()
+	timerFree []uint32
+
+	// Per-flow hot state, struct-of-arrays: parallel to Flows, indexed by
+	// Flow.idx, grown in AddFlow. The event loop's inner passes (carrier-
+	// sense freeze, resume, blocked checks, stale-event filtering) touch
+	// only these dense arrays, so a neighborhood walk reads a few cache
+	// lines instead of one Flow struct per neighbor.
+	flags      []uint8    // fInFlight | fCounterValid | fWaiting | fQueued
+	counter    []int32    // frozen DCF backoff counter, whole slots
+	idleSince  []float64  // when the current DIFS + countdown began
+	startGen   []uint32   // generation of the pending start event (freeze/resume invalidates)
+	mark       []uint32   // last markGen that visited the flow (scratch)
+	starterIdx []int32    // the flow's slot in the current starter set (scratch)
+	curTx      []*tx      // in-flight transmission; nil while contending or idle
+	flowPast   [][]pastTx // finished air intervals, kept while they can still interfere (bounded mode)
 
 	// Spatial index over transmitter positions (nil when CSRangeM <= 0 or
 	// nothing is placed); unplaced flows contend with everyone and ride
@@ -323,6 +344,28 @@ type Sim struct {
 	indexed  int // prefix of Flows already in the index
 	unplaced []int32
 	maxFT    float64 // longest frame airtime seen: prune horizon for per-flow past intervals
+
+	// Memoized geometry, invalidated by generation stamp: topoGen bumps
+	// whenever the flow set or the placement changes (ensureIndex indexing
+	// new flows, Reindex re-anchoring after mobility), so every cached
+	// neighborhood list and interference price below is a pure function of
+	// static geometry between those points. The caches consume no
+	// randomness and change only the access path, never the visit order,
+	// so runs stay byte-identical. Entries also remember the *Radio they
+	// were built against: mobility installs fresh Radio values (see
+	// Reindex), so a pointer mismatch detects stale geometry exactly.
+	topoGen  uint32
+	nbGen    []uint32                // generation nbList was built at
+	nbRadio  []*Radio                // the flow's Radio when nbList was built
+	nbList   [][]int32               // cached carrier-sense neighborhood (grid hits ascending, then unplaced)
+	ixGen    []uint32                // generation ixCands was built at
+	ixRadio  []*Radio                // the flow's Radio when ixCands was built
+	ixCands  [][]ixCand              // cached interferer candidates with per-pair prices
+	sigGen   []uint32                // generation sigPow was computed at
+	sigRadio []*Radio                // the flow's Radio when sigPow was computed
+	sigPow   []float64               // 10^(SNRdB/10) of the serving link
+	allFlows []int32                 // shared everyone-contends list for the no-grid path
+	pairPow  map[radioPair]pairPrice // per-pair pricing memo for the unbounded scan, cleared on Reindex
 
 	// Admission queue: flows that need a fresh look at the top of the next
 	// Step (new frame, retry counter, carrier-sense state), processed in
@@ -335,9 +378,11 @@ type Sim struct {
 	active []*tx
 	past   []pastTx
 
-	// Scratch buffers reused across Steps (the hot loop). nbufA serves the
-	// outer neighborhood query of each handler, nbufB the nested blocked
-	// checks inside resume/admission.
+	// Scratch buffers reused across Steps (the hot loop). nbufA and nbufB
+	// serve the grid queries inside cache rebuilds (a rebuild holds both
+	// query results at once to size its list exactly); steady-state
+	// neighborhood walks read the cached per-flow lists and allocate
+	// nothing.
 	startFlows []*Flow
 	starters   []*tx
 	interf     []interferer
@@ -347,6 +392,41 @@ type Sim struct {
 	nbufA      []int32
 	nbufB      []int32
 	markGen    uint32
+}
+
+// ixCand is one memoized interferer candidate of a flow: a flow the
+// bounded settle scan can reach, priced once per topology generation
+// against its current Radio. pow is the candidate transmitter's median
+// interference power at the owning flow's receiver (linear; 0 when the
+// pair is not priced), inCS its carrier-sense relation to the owning
+// flow. The Radio the price was computed against is not stored: within a
+// topology generation it is by contract the candidate's current Radio
+// (Reindex invalidates every list, and in-place Radio mutation is
+// unsupported), so consumers read it off the flow — and intervals sent
+// under a *different* radio than the flow's current one (a past
+// transmission from before a mobility epoch) fall back to direct
+// computation. Keeping the struct pointer-free matters at city scale:
+// 100k flows hold ~100 candidates each, and a pointer field would make
+// every GC cycle mark the entire cache.
+type ixCand struct {
+	fi   int32
+	inCS bool
+	pow  float64
+}
+
+// radioPair keys the unbounded-mode pricing memo: interference is a pure
+// function of (interferer geometry, receiver geometry) between Reindex
+// calls, and mobility installs fresh *Radio values, so pointer identity
+// is value identity.
+type radioPair struct {
+	from, at *Radio
+}
+
+// pairPrice is one memoized pair pricing: the interferer's median power
+// at the receiver (linear) and the carrier-sense relation.
+type pairPrice struct {
+	pow  float64
+	inCS bool
 }
 
 // New returns a simulator over the given MAC timing, drawing all randomness
@@ -359,8 +439,33 @@ func New(m mac.Params, rng *rand.Rand) *Sim {
 func (s *Sim) AddFlow(f *Flow) *Flow {
 	f.idx = int32(len(s.Flows))
 	s.Flows = append(s.Flows, f)
+	s.growState()
 	s.enqueueAdmit(f)
 	return f
+}
+
+// growState extends the per-flow state arrays to cover every registered
+// flow (zero values: idle, no counter, no cached geometry).
+func (s *Sim) growState() {
+	for len(s.flags) < len(s.Flows) {
+		s.flags = append(s.flags, 0)
+		s.counter = append(s.counter, 0)
+		s.idleSince = append(s.idleSince, 0)
+		s.startGen = append(s.startGen, 0)
+		s.mark = append(s.mark, 0)
+		s.starterIdx = append(s.starterIdx, 0)
+		s.curTx = append(s.curTx, nil)
+		s.flowPast = append(s.flowPast, nil)
+		s.nbGen = append(s.nbGen, 0)
+		s.nbRadio = append(s.nbRadio, nil)
+		s.nbList = append(s.nbList, nil)
+		s.ixGen = append(s.ixGen, 0)
+		s.ixRadio = append(s.ixRadio, nil)
+		s.ixCands = append(s.ixCands, nil)
+		s.sigGen = append(s.sigGen, 0)
+		s.sigRadio = append(s.sigRadio, nil)
+		s.sigPow = append(s.sigPow, 0)
+	}
 }
 
 // Wake tells the scheduler that f may have traffic again. Flows whose
@@ -383,7 +488,24 @@ func (s *Sim) ScheduleAt(t float64, fn func()) {
 		t = s.now
 	}
 	s.timerSeq++
-	s.pushEvent(event{t: t, kind: evTimer, seq: s.timerSeq, fn: fn})
+	var slot uint32
+	if n := len(s.timerFree); n > 0 {
+		slot = s.timerFree[n-1]
+		s.timerFree = s.timerFree[:n-1]
+		s.timerFns[slot] = fn
+	} else {
+		slot = uint32(len(s.timerFns))
+		s.timerFns = append(s.timerFns, fn)
+	}
+	s.pushEvent(event{t: t, kind: evTimer, seq: s.timerSeq, gen: slot})
+}
+
+// takeTimer claims a fired timer event's callback and recycles its slot.
+func (s *Sim) takeTimer(e event) func() {
+	fn := s.timerFns[e.gen]
+	s.timerFns[e.gen] = nil
+	s.timerFree = append(s.timerFree, e.gen)
+	return fn
 }
 
 // Now returns the virtual time elapsed so far, in seconds.
@@ -412,13 +534,13 @@ func (s *Sim) inRange(f *Flow, r *Radio) bool {
 // contends reports whether two flows share a carrier-sense neighborhood.
 func (s *Sim) contends(f, g *Flow) bool { return s.inRange(f, g.Radio) }
 
-// startTime returns when f's countdown expires: the moment its
+// startTime returns when flow i's countdown expires: the moment its
 // neighborhood went idle, plus DIFS, plus its remaining backoff slots. The
 // expression is shared by the start-event push and the start processing so
 // equal-countdown flows compare exactly equal (that tie is a collision).
-func (s *Sim) startTime(f *Flow) (wait, start float64) {
-	wait = s.Mac.DIFS() + float64(f.counter)*s.Mac.SlotTime
-	return wait, f.idleSince + wait
+func (s *Sim) startTime(i int32) (wait, start float64) {
+	wait = s.Mac.DIFS() + float64(s.counter[i])*s.Mac.SlotTime
+	return wait, s.idleSince[i] + wait
 }
 
 // interferer is one transmission overlapping a frame under resolution:
@@ -462,8 +584,21 @@ func (s *Sim) model() InterferenceModel {
 // successive far-cell frames are not a doubled interferer. Deterministic:
 // no RNG is consumed.
 func (s *Sim) effectiveSINRdB(f *Flow, interferers []interferer) float64 {
-	sinr := math.Pow(10, f.Radio.SNRdB/10) / (1 + s.worstSimultaneous(interferers))
+	sinr := s.servingPow(f) / (1 + s.worstSimultaneous(interferers))
 	return 10 * math.Log10(sinr)
+}
+
+// servingPow returns the serving link's linear SNR, memoized per flow per
+// topology generation (the exponentiation is a pure function of the
+// static Radio between Reindex calls).
+func (s *Sim) servingPow(f *Flow) float64 {
+	i := f.idx
+	if s.sigGen[i] == s.topoGen && s.sigRadio[i] == f.Radio {
+		return s.sigPow[i]
+	}
+	p := math.Pow(10, f.Radio.SNRdB/10)
+	s.sigPow[i], s.sigRadio[i], s.sigGen[i] = p, f.Radio, s.topoGen
+	return p
 }
 
 // worstSimultaneous sweeps the interferers' overlap intervals and returns
@@ -478,14 +613,11 @@ func (s *Sim) worstSimultaneous(interferers []interferer) float64 {
 	}
 	s.edges = edges
 	// The key covers both fields, so elements comparing equal are identical
-	// values — any sort yields the same array, and the generic sort skips
-	// the reflection cost of sort.Slice in this hot path.
-	slices.SortFunc(edges, func(a, b edge) int {
-		if a.t != b.t {
-			return cmp.Compare(a.t, b.t)
-		}
-		return cmp.Compare(a.dp, b.dp) // removals first at equal times
-	})
+	// values — any correct sort yields the same array, and the accumulation
+	// below therefore visits the exact same float sequence regardless of
+	// how the sort got there (float addition is order-sensitive; the sorted
+	// array is not).
+	sortEdges(edges)
 	cur, worst := 0.0, 0.0
 	for _, e := range edges {
 		cur += e.dp
@@ -502,6 +634,74 @@ type edge struct {
 	dp float64
 }
 
+// edgeLess orders sweep edges by (t, dp) ascending: removals first at
+// equal times. Both keys are finite (clock times and positive powers), so
+// < is a strict weak order here.
+func edgeLess(a, b edge) bool { return a.t < b.t || (a.t == b.t && a.dp < b.dp) }
+
+// sortEdges sorts the sweep edges by (t, dp) ascending with an inlined
+// comparator: the sweep runs once per interfered settle, and the closure-
+// call machinery of the generic sort dominated the settle profile.
+// Insertion sort covers the short common case; wider settles run a
+// median-of-three quicksort (recursing into the smaller half) down to the
+// insertion threshold. The key is total over distinct elements, so the
+// output array is unique — identical to what the generic sort produced —
+// no matter which algorithm gets there.
+func sortEdges(e []edge) {
+	for len(e) > 32 {
+		j := partitionEdges(e)
+		if j < len(e)-j {
+			sortEdges(e[:j])
+			e = e[j:]
+		} else {
+			sortEdges(e[j:])
+			e = e[:j]
+		}
+	}
+	for i := 1; i < len(e); i++ {
+		x := e[i]
+		j := i - 1
+		for j >= 0 && edgeLess(x, e[j]) {
+			e[j+1] = e[j]
+			j--
+		}
+		e[j+1] = x
+	}
+}
+
+// partitionEdges Hoare-partitions e around a median-of-three pivot and
+// returns the split point: e[:ret] <= pivot <= e[ret:] element-wise, with
+// both sides non-empty.
+func partitionEdges(e []edge) int {
+	m := len(e) / 2
+	n := len(e) - 1
+	if edgeLess(e[m], e[0]) {
+		e[m], e[0] = e[0], e[m]
+	}
+	if edgeLess(e[n], e[0]) {
+		e[n], e[0] = e[0], e[n]
+	}
+	if edgeLess(e[n], e[m]) {
+		e[n], e[m] = e[m], e[n]
+	}
+	p := e[m]
+	i, j := 0, n
+	for {
+		for edgeLess(e[i], p) {
+			i++
+		}
+		for edgeLess(p, e[j]) {
+			j--
+		}
+		if i >= j {
+			return j + 1
+		}
+		e[i], e[j] = e[j], e[i]
+		i++
+		j--
+	}
+}
+
 // interferenceModeled reports whether the interference model applies to
 // f's receptions (capture within collisions, corruption by hidden
 // terminals, delivery-draw degradation).
@@ -514,12 +714,12 @@ func (s *Sim) interferenceModeled(f *Flow) bool {
 // every live and recent transmission.
 func (s *Sim) boundedInterference() bool { return s.InterferenceRangeM > 0 }
 
-// pushEvent adds one event to the pending min-heap.
+// pushEvent adds one event to the pending min-heap (4-ary).
 func (s *Sim) pushEvent(e event) {
 	h := append(s.events, e)
 	i := len(h) - 1
 	for i > 0 {
-		p := (i - 1) / 2
+		p := (i - 1) / 4
 		if !eventLess(h[i], h[p]) {
 			break
 		}
@@ -529,7 +729,9 @@ func (s *Sim) pushEvent(e event) {
 	s.events = h
 }
 
-// popEvent removes and returns the earliest pending event.
+// popEvent removes and returns the earliest pending event. The moved tail
+// element sifts down through the 4-ary levels: pick the least of up to
+// four children, swap while it beats the parent.
 func (s *Sim) popEvent() event {
 	h := s.events
 	top := h[0]
@@ -539,12 +741,16 @@ func (s *Sim) popEvent() event {
 	h = h[:n]
 	i := 0
 	for {
-		m, l, r := i, 2*i+1, 2*i+2
-		if l < n && eventLess(h[l], h[m]) {
-			m = l
+		m := i
+		c := 4*i + 1
+		last := c + 4
+		if last > n {
+			last = n
 		}
-		if r < n && eventLess(h[r], h[m]) {
-			m = r
+		for ; c < last; c++ {
+			if eventLess(h[c], h[m]) {
+				m = c
+			}
 		}
 		if m == i {
 			break
@@ -575,20 +781,33 @@ func (s *Sim) newTx() *tx {
 // rebuild consumes no randomness and visits flows in registration order,
 // so it is deterministic at any worker count. Interference pricing of
 // frames still in the air reads each flow's Radio pointer at settle time;
-// mobility code that wants already-airborne frames priced at their launch
-// geometry should install a fresh *Radio value rather than mutate the old
-// one in place (retired intervals keep the pointer they were sent under).
+// mobility code MUST install a fresh *Radio value rather than mutate the
+// old one in place: retired intervals keep the pointer they were sent
+// under, and the geometry memos (neighbor lists, per-pair interference
+// prices, serving-link powers) are keyed by (generation, *Radio), so a
+// fresh pointer plus the Reindex call invalidates them exactly, while an
+// in-place mutation would go unseen — by the spatial index and the memos
+// alike.
 func (s *Sim) Reindex() {
 	s.grid = nil
 	s.indexed = 0
 	s.unplaced = s.unplaced[:0]
+	s.topoGen++
+	clear(s.pairPow)
 	s.ensureIndex()
 }
 
 // ensureIndex brings the spatial index up to date with Flows: placed flows
 // enter the grid under their registration index, unplaced flows join the
 // everyone-contends list. Positions are static between Reindex calls.
+// Indexing new flows changes neighborhoods, so it advances the topology
+// generation and thereby invalidates every cached neighborhood list.
 func (s *Sim) ensureIndex() {
+	if s.indexed == len(s.Flows) {
+		return
+	}
+	s.growState()
+	s.topoGen++
 	for ; s.indexed < len(s.Flows); s.indexed++ {
 		f := s.Flows[s.indexed]
 		f.idx = int32(s.indexed)
@@ -605,45 +824,59 @@ func (s *Sim) ensureIndex() {
 	}
 }
 
-// nearbyContenders appends to out the indices of every flow that shares a
-// carrier-sense neighborhood with f — including f itself — and returns the
-// extended slice. Grid hits come first in ascending id order, then the
-// unplaced flows in registration order, so iteration is deterministic.
-func (s *Sim) nearbyContenders(f *Flow, out []int32) []int32 {
+// nearby returns the indices of every flow that shares a carrier-sense
+// neighborhood with f — including f itself. Grid hits come first in
+// ascending id order, then the unplaced flows in registration order, so
+// iteration is deterministic. The list is memoized per flow per topology
+// generation; callers must treat it as read-only and must not hold it
+// across a Reindex.
+func (s *Sim) nearby(f *Flow) []int32 {
 	if s.grid == nil || f.Radio == nil {
-		for i := range s.Flows {
-			out = append(out, int32(i))
-		}
-		return out
+		return s.allContenders()
 	}
-	out = s.grid.Near(f.Radio.TxPos, s.CSRangeM, out)
-	return append(out, s.unplaced...)
+	i := f.idx
+	if s.nbGen[i] == s.topoGen && s.nbRadio[i] == f.Radio {
+		return s.nbList[i]
+	}
+	nb := s.grid.Near(f.Radio.TxPos, s.CSRangeM, s.nbList[i][:0])
+	nb = append(nb, s.unplaced...)
+	s.nbList[i] = nb
+	s.nbRadio[i] = f.Radio
+	s.nbGen[i] = s.topoGen
+	return nb
+}
+
+// allContenders returns the shared everyone-contends list (the no-grid
+// degenerate neighborhood), rebuilt only when flows were added.
+func (s *Sim) allContenders() []int32 {
+	if len(s.allFlows) != len(s.Flows) {
+		s.allFlows = s.allFlows[:0]
+		for i := range s.Flows {
+			s.allFlows = append(s.allFlows, int32(i))
+		}
+	}
+	return s.allFlows
 }
 
 // blocked reports whether some in-range transmission currently occupies
-// f's neighborhood. Uses the nested scratch buffer (nbufB) so callers may
-// hold nbufA across the check.
+// f's neighborhood.
 func (s *Sim) blocked(f *Flow) bool {
-	nb := s.nearbyContenders(f, s.nbufB[:0])
-	hit := false
-	for _, gi := range nb {
-		g := s.Flows[gi]
-		if g != f && g.active != nil {
-			hit = true
-			break
+	i := f.idx
+	for _, gi := range s.nearby(f) {
+		if gi != i && s.curTx[gi] != nil {
+			return true
 		}
 	}
-	s.nbufB = nb[:0]
-	return hit
+	return false
 }
 
 // enqueueAdmit schedules f for the admission pass at the top of the next
 // Step.
 func (s *Sim) enqueueAdmit(f *Flow) {
-	if f.queued {
+	if s.flags[f.idx]&fQueued != 0 {
 		return
 	}
-	f.queued = true
+	s.flags[f.idx] |= fQueued
 	s.admitQ = append(s.admitQ, f.idx)
 }
 
@@ -657,9 +890,8 @@ func (s *Sim) processAdmissions() {
 	}
 	slices.Sort(s.admitQ)
 	for _, i := range s.admitQ {
-		f := s.Flows[i]
-		f.queued = false
-		s.admit(f)
+		s.flags[i] &^= fQueued
+		s.admit(s.Flows[i])
 	}
 	s.admitQ = s.admitQ[:0]
 }
@@ -669,15 +901,18 @@ func (s *Sim) processAdmissions() {
 // countdown — immediately when the neighborhood is clear, otherwise frozen
 // until an in-range occupancy ends.
 func (s *Sim) admit(f *Flow) {
-	if f.active != nil {
+	i := f.idx
+	if s.curTx[i] != nil {
 		return
 	}
-	if !f.inFlight {
+	fl := s.flags[i]
+	if fl&fInFlight == 0 {
 		if f.HasTraffic == nil || !f.HasTraffic() {
-			f.waiting = false
+			s.flags[i] = fl &^ fWaiting
 			return
 		}
-		f.inFlight = true
+		fl |= fInFlight
+		s.flags[i] = fl
 		f.attempt = 0
 		f.frameAir = 0
 		f.rateIdx = 0
@@ -685,17 +920,18 @@ func (s *Sim) admit(f *Flow) {
 			f.rateIdx = f.Prepare(s.Rng)
 		}
 	}
-	if !f.counterValid {
-		f.counter = s.backoffSlots(f.attempt)
-		f.counterValid = true
+	if fl&fCounterValid == 0 {
+		s.counter[i] = int32(s.backoffSlots(f.attempt))
+		fl |= fCounterValid
+		s.flags[i] = fl
 	}
 	if s.blocked(f) {
-		f.waiting = false
+		s.flags[i] = fl &^ fWaiting
 		return
 	}
-	if !f.waiting {
-		f.waiting = true
-		f.idleSince = s.now
+	if fl&fWaiting == 0 {
+		s.flags[i] = fl | fWaiting
+		s.idleSince[i] = s.now
 		s.pushStart(f)
 	}
 }
@@ -703,17 +939,18 @@ func (s *Sim) admit(f *Flow) {
 // pushStart schedules f's countdown expiry as a start event under a fresh
 // generation (superseding any stale event still in the heap).
 func (s *Sim) pushStart(f *Flow) {
-	f.startGen++
-	_, st := s.startTime(f)
-	s.pushEvent(event{t: st, kind: evStart, seq: int64(f.idx), gen: f.startGen})
+	i := f.idx
+	s.startGen[i]++
+	_, st := s.startTime(i)
+	s.pushEvent(event{t: st, kind: evStart, seq: int64(i), gen: s.startGen[i]})
 }
 
 // staleStart reports whether a start event no longer speaks for its flow:
 // the countdown was frozen, restarted, or consumed since the event was
 // pushed.
 func (s *Sim) staleStart(e event) bool {
-	f := s.Flows[e.seq]
-	return e.gen != f.startGen || !f.waiting || f.active != nil || !f.inFlight
+	i := e.seq
+	return e.gen != s.startGen[i] || s.flags[i]&(fWaiting|fInFlight) != (fWaiting|fInFlight) || s.curTx[i] != nil
 }
 
 // purgeStale discards superseded start events from the top of the heap so
@@ -750,7 +987,7 @@ func (s *Sim) Step() bool {
 		// a Wake — the historical scheduler rescanned every Step — still
 		// gets picked up, then report drained if nothing woke.
 		for _, f := range s.Flows {
-			if f.active == nil && !f.queued {
+			if s.curTx[f.idx] == nil && s.flags[f.idx]&fQueued == 0 {
 				s.admit(f)
 			}
 		}
@@ -780,7 +1017,7 @@ func (s *Sim) Step() bool {
 				startFlows = append(startFlows, s.Flows[e.seq])
 			}
 		default: // evTimer
-			e.fn()
+			s.takeTimer(e)()
 		}
 	}
 	s.startFlows = startFlows
@@ -793,18 +1030,18 @@ func (s *Sim) Step() bool {
 	if len(startFlows) > 0 {
 		starters := s.starters[:0]
 		for _, f := range startFlows {
-			wait, st := s.startTime(f)
+			i := f.idx
+			wait, st := s.startTime(i)
 			r := s.newTx()
 			r.f, r.seq = f, s.txSeq
 			s.txSeq++
-			r.base, r.wait, r.start, r.ft = f.idleSince, wait, st, f.FrameTime(f.rateIdx)
+			r.base, r.wait, r.start, r.ft = s.idleSince[i], wait, st, f.FrameTime(f.rateIdx)
 			r.cost = r.wait + r.ft
 			r.airEnd = r.base + r.cost
 			r.end = r.airEnd // provisional; finalized when the delivery settles
-			f.active = r
-			f.waiting = false
-			f.counterValid = false // the counter is consumed by this attempt
-			f.startGen++
+			s.curTx[i] = r
+			s.flags[i] &^= fWaiting | fCounterValid // the counter is consumed by this attempt
+			s.startGen[i]++
 			if r.ft > s.maxFT {
 				s.maxFT = r.ft
 			}
@@ -820,18 +1057,17 @@ func (s *Sim) Step() bool {
 		// banks the idle slots that elapsed before the frame hit the air
 		// and freezes (DCF frozen backoff), resuming — not redrawing —
 		// when its neighborhood frees up.
+		difs := s.Mac.DIFS()
 		for _, r := range starters {
-			nb := s.nearbyContenders(r.f, s.nbufA[:0])
-			for _, gi := range nb {
-				g := s.Flows[gi]
-				if g.active != nil || !g.inFlight || !g.waiting {
+			for _, gi := range s.nearby(r.f) {
+				fl := s.flags[gi]
+				if s.curTx[gi] != nil || fl&(fInFlight|fWaiting) != (fInFlight|fWaiting) {
 					continue
 				}
-				g.counter -= elapsedSlots(t-g.idleSince-s.Mac.DIFS(), s.Mac.SlotTime, g.counter)
-				g.waiting = false
-				g.startGen++ // supersede the pending start event
+				s.counter[gi] -= int32(elapsedSlots(t-s.idleSince[gi]-difs, s.Mac.SlotTime, int(s.counter[gi])))
+				s.flags[gi] = fl &^ fWaiting
+				s.startGen[gi]++ // supersede the pending start event
 			}
-			s.nbufA = nb[:0]
 		}
 
 		s.countGroups(starters)
@@ -845,21 +1081,22 @@ func (s *Sim) Step() bool {
 // neighborhoods are now clear resume their countdowns.
 func (s *Sim) retire(r *tx) {
 	f := r.f
-	f.active = nil
-	f.waiting = false
+	i := f.idx
+	s.curTx[i] = nil
+	s.flags[i] &^= fWaiting
 	if s.boundedInterference() {
-		// Keep the interval on the flow itself, pruned against the oldest
+		// Keep the interval on the flow's slot, pruned against the oldest
 		// instant a still-unresolved frame could have started (an
 		// unresolved frame's airtime ends after now and spans at most the
 		// longest frame seen).
 		cutoff := s.now - s.maxFT
-		kept := f.past[:0]
-		for _, p := range f.past {
+		kept := s.flowPast[i][:0]
+		for _, p := range s.flowPast[i] {
 			if p.airEnd > cutoff {
 				kept = append(kept, p)
 			}
 		}
-		f.past = append(kept, pastTx{radio: f.Radio, start: r.start, airEnd: r.airEnd})
+		s.flowPast[i] = append(kept, pastTx{radio: f.Radio, start: r.start, airEnd: r.airEnd})
 	} else {
 		s.past = append(s.past, pastTx{radio: f.Radio, start: r.start, airEnd: r.airEnd})
 		s.removeActive(r)
@@ -876,20 +1113,20 @@ func (s *Sim) retire(r *tx) {
 	// countdown through admit at the top of the next step, with the clock
 	// still reading this instant — exactly like the historical scheduler's
 	// admission-then-carrier-sense pass.
-	nb := s.nearbyContenders(f, s.nbufA[:0])
-	for _, gi := range nb {
-		g := s.Flows[gi]
-		if g == f || !g.inFlight || g.active != nil || g.waiting || g.queued || !g.counterValid {
+	for _, gi := range s.nearby(f) {
+		fl := s.flags[gi]
+		if gi == i || fl&(fInFlight|fCounterValid) != (fInFlight|fCounterValid) ||
+			fl&(fWaiting|fQueued) != 0 || s.curTx[gi] != nil {
 			continue
 		}
+		g := s.Flows[gi]
 		if s.blocked(g) {
 			continue
 		}
-		g.waiting = true
-		g.idleSince = s.now
+		s.flags[gi] = fl | fWaiting
+		s.idleSince[gi] = s.now
 		s.pushStart(g)
 	}
-	s.nbufA = nb[:0]
 }
 
 // removeActive takes one retired transmission out of the live list,
@@ -940,8 +1177,9 @@ func (s *Sim) countGroups(starters []*tx) {
 		// instead of a pairwise scan over every starter.
 		s.markGen++
 		for i, r := range starters {
-			r.f.mark = s.markGen
-			r.f.starterIdx = int32(i)
+			fi := r.f.idx
+			s.mark[fi] = s.markGen
+			s.starterIdx[fi] = int32(i)
 		}
 		for i := range starters {
 			if grouped[i] {
@@ -950,16 +1188,13 @@ func (s *Sim) countGroups(starters []*tx) {
 			group = append(group[:0], i)
 			grouped[i] = true
 			for k := 0; k < len(group); k++ {
-				nb := s.nearbyContenders(starters[group[k]].f, s.nbufA[:0])
-				for _, gi := range nb {
-					g := s.Flows[gi]
-					if g.mark != s.markGen || grouped[g.starterIdx] {
+				for _, gi := range s.nearby(starters[group[k]].f) {
+					if s.mark[gi] != s.markGen || grouped[s.starterIdx[gi]] {
 						continue
 					}
-					grouped[g.starterIdx] = true
-					group = append(group, int(g.starterIdx))
+					grouped[s.starterIdx[gi]] = true
+					group = append(group, int(s.starterIdx[gi]))
 				}
-				s.nbufA = nb[:0]
 			}
 			s.Acquisitions++
 			if len(group) > 1 {
@@ -1004,17 +1239,22 @@ func (s *Sim) resolve(r *tx) {
 	// Gather the transmissions whose frames overlapped r's. Each
 	// contributes its median interference power over the clipped overlap
 	// interval. The decode decision below is invariant to accumulation
-	// order (collider counts and interval maxima commute), so the bounded
-	// mode is free to gather through the index.
+	// order (collider counts and interval maxima commute, and the sweep in
+	// worstSimultaneous sorts by a total key), so the bounded mode is free
+	// to gather through the memoized candidate lists. The per-pair prices
+	// themselves are memoized — geometry is static between Reindex calls —
+	// so a steady-state settle does no path-loss arithmetic and allocates
+	// nothing.
 	interf := s.interf[:0]
 	nColliders := 0
 	geometryKnown := true
 	covered := r.start // air interval already billed busy by resolved colliders
-	scan := func(radio *Radio, start, airEnd float64, resolved bool) {
+	priced := s.interferenceModeled(f)
+	scan := func(radio *Radio, start, airEnd float64, resolved bool, pow float64, inCS bool) {
 		if airEnd <= r.start || start >= r.airEnd {
 			return
 		}
-		if s.inRange(f, radio) {
+		if inCS {
 			nColliders++
 			if radio == nil {
 				geometryKnown = false
@@ -1023,30 +1263,91 @@ func (s *Sim) resolve(r *tx) {
 				covered = airEnd
 			}
 		}
-		if radio == nil || !s.interferenceModeled(f) {
+		if radio == nil || !priced {
 			return
 		}
-		g := interferer{from: start, to: airEnd}
+		g := interferer{power: pow, from: start, to: airEnd}
 		if g.from < r.start {
 			g.from = r.start
 		}
 		if g.to > r.airEnd {
 			g.to = r.airEnd
 		}
-		d := testbed.Dist(radio.TxPos, f.Radio.RxPos)
-		g.power = math.Pow(10, s.Env.MeanSNRdB(d)/10)
 		interf = append(interf, g)
 	}
-	if s.boundedInterference() {
-		s.scanBounded(r, scan)
-	} else {
+	// scanDirect prices one interval from its own radio, bypassing the
+	// memos: the fallback for intervals sent under a geometry the caches
+	// no longer describe (a past transmission from before a Reindex).
+	scanDirect := func(radio *Radio, start, airEnd float64, resolved bool) {
+		if airEnd <= r.start || start >= r.airEnd {
+			return
+		}
+		pow := 0.0
+		if radio != nil && priced {
+			d := testbed.Dist(radio.TxPos, f.Radio.RxPos)
+			pow = math.Pow(10, s.Env.MeanSNRdB(d)/10)
+		}
+		scan(radio, start, airEnd, resolved, pow, s.inRange(f, radio))
+	}
+	switch {
+	case !s.boundedInterference():
+		// Unbounded: the historical linear scan over every live and recent
+		// transmission, with pair pricing through the per-pair memo.
 		for _, g := range s.active {
-			if g != r {
-				scan(g.f.Radio, g.start, g.airEnd, g.resolved)
+			if g == r || g.airEnd <= r.start || g.start >= r.airEnd {
+				continue
 			}
+			pow, inCS := s.pricePair(f, g.f.Radio, priced)
+			scan(g.f.Radio, g.start, g.airEnd, g.resolved, pow, inCS)
 		}
 		for _, p := range s.past {
-			scan(p.radio, p.start, p.airEnd, true)
+			if p.airEnd <= r.start || p.start >= r.airEnd {
+				continue
+			}
+			pow, inCS := s.pricePair(f, p.radio, priced)
+			scan(p.radio, p.start, p.airEnd, true, pow, inCS)
+		}
+	case s.grid == nil || f.Radio == nil:
+		// Bounded mode without an index to query (or an unplaced frame):
+		// every flow is a candidate, as the historical visit did.
+		for _, g := range s.Flows {
+			gi := g.idx
+			if a := s.curTx[gi]; a != nil && a != r {
+				scanDirect(g.Radio, a.start, a.airEnd, a.resolved)
+			}
+			for _, p := range s.flowPast[gi] {
+				scanDirect(p.radio, p.start, p.airEnd, true)
+			}
+		}
+	default:
+		// Bounded: the memoized candidate list — the flows the two
+		// neighborhood queries (carrier-sense range around the transmitter,
+		// interference range around the receiver) plus the unplaced list
+		// can reach, each carrying its pair price. Intervals sent under a
+		// different Radio than the cached one fall back to direct pricing.
+		cands := s.ixCands[f.idx]
+		if s.ixGen[f.idx] != s.topoGen || s.ixRadio[f.idx] != f.Radio {
+			cands = s.buildIxCands(f)
+		}
+		for k := range cands {
+			c := &cands[k]
+			gi := c.fi
+			// The cached price was computed against the candidate's Radio at
+			// build time, which within a topology generation is its current
+			// Radio (the Reindex contract), so a live transmission always
+			// takes the cached price and only past intervals recorded under
+			// a superseded radio fall back to direct pricing.
+			cr := s.Flows[gi].Radio
+			if a := s.curTx[gi]; a != nil && a != r {
+				scan(cr, a.start, a.airEnd, a.resolved, c.pow, c.inCS)
+			}
+			for _, p := range s.flowPast[gi] {
+				if p.radio == cr {
+					scan(cr, p.start, p.airEnd, true, c.pow, c.inCS)
+				} else {
+					scanDirect(p.radio, p.start, p.airEnd, true)
+				}
+			}
 		}
 	}
 	s.interf = interf
@@ -1129,41 +1430,78 @@ func (s *Sim) resolve(r *tx) {
 	}
 }
 
-// scanBounded feeds the settle scan from the spatial index: candidate
-// flows come from two neighborhood queries — carrier-sense range around
-// the transmitter (every possible collider) and interference range around
-// the receiver (every interferer loud enough to price) — plus the
-// unplaced flows, each contributing its live transmission and its
-// remembered past intervals.
-func (s *Sim) scanBounded(r *tx, scan func(radio *Radio, start, airEnd float64, resolved bool)) {
-	f := r.f
-	visit := func(g *Flow) {
-		if g.mark == s.markGen {
-			return
-		}
-		g.mark = s.markGen
-		if a := g.active; a != nil && a != r {
-			scan(g.Radio, a.start, a.airEnd, a.resolved)
-		}
-		for _, p := range g.past {
-			scan(p.radio, p.start, p.airEnd, true)
-		}
-	}
+// buildIxCands rebuilds f's memoized interferer-candidate list: the flows
+// the bounded settle scan can reach — two neighborhood queries, carrier-
+// sense range around f's transmitter (every possible collider) and
+// interference range around its receiver (every interferer loud enough to
+// price) — plus the unplaced flows, first occurrence kept, exactly the
+// set the historical per-settle queries visited. Each candidate is priced
+// once against its current Radio; the list is valid until the topology
+// generation advances or f's Radio is swapped. Consumes no randomness.
+func (s *Sim) buildIxCands(f *Flow) []ixCand {
+	i := f.idx
 	s.markGen++
-	if s.grid == nil || f.Radio == nil {
-		for _, g := range s.Flows {
-			visit(g)
+	m := s.markGen
+	priced := s.interferenceModeled(f)
+	// Both queries run before the list is assembled so it can be sized in
+	// one exact allocation: at city scale these lists are the largest
+	// structure in the sim, and append-doubling 100k of them both churns
+	// twice the memory and leaves ~2x capacity stranded.
+	csNb := s.grid.Near(f.Radio.TxPos, s.CSRangeM, s.nbufA[:0])
+	ixNb := s.grid.Near(f.Radio.RxPos, s.InterferenceRangeM, s.nbufB[:0])
+	out := s.ixCands[i][:0]
+	if need := len(csNb) + len(ixNb) + len(s.unplaced); cap(out) < need {
+		out = make([]ixCand, 0, need)
+	}
+	add := func(ids []int32) {
+		for _, gi := range ids {
+			if s.mark[gi] == m {
+				continue
+			}
+			s.mark[gi] = m
+			g := s.Flows[gi]
+			c := ixCand{fi: gi, inCS: s.inRange(f, g.Radio)}
+			if g.Radio != nil && priced {
+				d := testbed.Dist(g.Radio.TxPos, f.Radio.RxPos)
+				c.pow = math.Pow(10, s.Env.MeanSNRdB(d)/10)
+			}
+			out = append(out, c)
 		}
-		return
 	}
-	cand := s.nbufA[:0]
-	cand = s.grid.Near(f.Radio.TxPos, s.CSRangeM, cand)
-	cand = s.grid.Near(f.Radio.RxPos, s.InterferenceRangeM, cand)
-	cand = append(cand, s.unplaced...)
-	for _, gi := range cand {
-		visit(s.Flows[gi])
+	add(csNb)
+	add(ixNb)
+	add(s.unplaced)
+	s.nbufA, s.nbufB = csNb[:0], ixNb[:0]
+	s.ixCands[i] = out
+	s.ixRadio[i] = f.Radio
+	s.ixGen[i] = s.topoGen
+	return out
+}
+
+// pairPrice prices one interferer geometry against f's receiver through
+// the per-pair memo (the unbounded scan has no candidate lists to hang
+// prices on): the interferer's median power at f's receiver (linear) and
+// its carrier-sense relation to f. Pairs involving a nil radio are never
+// priced (unplaced flows defer to everyone: inCS true, no interference
+// term); unpriced flows only need the carrier-sense bit.
+func (s *Sim) pricePair(f *Flow, radio *Radio, priced bool) (pow float64, inCS bool) {
+	if radio == nil || f.Radio == nil || !priced {
+		return 0, s.inRange(f, radio)
 	}
-	s.nbufA = cand[:0]
+	k := radioPair{from: radio, at: f.Radio}
+	if p, ok := s.pairPow[k]; ok {
+		return p.pow, p.inCS
+	}
+	d := testbed.Dist(radio.TxPos, f.Radio.RxPos)
+	p := pairPrice{
+		pow:  math.Pow(10, s.Env.MeanSNRdB(d)/10),
+		inCS: s.inRange(f, radio),
+	}
+	if s.pairPow == nil {
+		s.pairPow = make(map[radioPair]pairPrice, 64)
+	}
+	s.pairPow[k] = p
+	return p.pow, p.inCS
 }
 
 // prunePast drops finished transmissions that can no longer overlap any
@@ -1198,6 +1536,12 @@ func (s *Sim) failAttempt(f *Flow) {
 	}
 }
 
+// inFlight reports whether f's head-of-line frame is in service (between
+// its admission draw and its Done). f must be registered with AddFlow.
+func (s *Sim) inFlight(f *Flow) bool {
+	return int(f.idx) < len(s.flags) && s.flags[f.idx]&fInFlight != 0
+}
+
 // finishFrame retires the head-of-line frame and notifies the flow.
 func (s *Sim) finishFrame(f *Flow, delivered bool) {
 	if delivered {
@@ -1205,7 +1549,7 @@ func (s *Sim) finishFrame(f *Flow, delivered bool) {
 	} else {
 		f.Dropped++
 	}
-	f.inFlight = false
+	s.flags[f.idx] &^= fInFlight
 	if f.Done != nil {
 		f.Done(f.rateIdx, delivered, f.frameAir)
 	}

@@ -54,27 +54,27 @@ func TestFrozenBackoffPersistsAcrossLostRounds(t *testing.T) {
 		t.Fatalf("smaller counter (%d vs %d) must win round 1: winner=%d loser=%d delivered",
 			cWin, cLose, winner.Delivered, loser.Delivered)
 	}
-	if !loser.counterValid {
+	if s.flags[loser.idx]&fCounterValid == 0 {
 		t.Fatal("loser must keep a live counter")
 	}
-	if got, want := loser.counter, cLose-cWin; got != want {
+	if got, want := int(s.counter[loser.idx]), cLose-cWin; got != want {
 		t.Fatalf("loser's counter = %d, want %d (original %d minus %d elapsed idle slots)", got, want, cLose, cWin)
 	}
-	if winner.counterValid {
+	if s.flags[winner.idx]&fCounterValid != 0 {
 		t.Fatal("winner must redraw next round")
 	}
 	// The frozen counter eventually wins: step until the loser delivers,
 	// checking the counter never grows while frozen (it only counts down).
-	prev := loser.counter
+	prev := int(s.counter[loser.idx])
 	for loser.Delivered == 0 {
 		if !s.Step() {
 			t.Fatal("drained before the loser delivered")
 		}
-		if loser.counterValid && loser.Delivered == 0 && loser.counter > prev {
-			t.Fatalf("frozen counter grew from %d to %d without an attempt", prev, loser.counter)
+		if s.flags[loser.idx]&fCounterValid != 0 && loser.Delivered == 0 && int(s.counter[loser.idx]) > prev {
+			t.Fatalf("frozen counter grew from %d to %d without an attempt", prev, s.counter[loser.idx])
 		}
-		if loser.counterValid {
-			prev = loser.counter
+		if s.flags[loser.idx]&fCounterValid != 0 {
+			prev = int(s.counter[loser.idx])
 		}
 	}
 }

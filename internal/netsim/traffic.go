@@ -149,7 +149,7 @@ func (s *Sim) AttachTraffic(f *Flow, cfg TrafficConfig) *Traffic {
 // Pending returns the number of packets queued and not yet in service.
 func (q *Traffic) Pending() int {
 	n := len(q.arrivals) - q.head
-	if q.flow.inFlight && n > 0 {
+	if q.sim.inFlight(q.flow) && n > 0 {
 		n--
 	}
 	return n
@@ -217,7 +217,7 @@ func (q *Traffic) compact() {
 func (q *Traffic) leave() {
 	q.left = true
 	keep := q.head
-	if q.flow.inFlight && q.head < len(q.arrivals) {
+	if q.sim.inFlight(q.flow) && q.head < len(q.arrivals) {
 		keep++ // the in-service packet rides out its transmission
 	}
 	q.Abandoned += len(q.arrivals) - keep

@@ -26,8 +26,8 @@ func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
 
 // inService reports the packet a run left mid-transmission when its
 // window closed: neither pending nor settled, so accounting checks add it.
-func inService(f *Flow) int {
-	if f.inFlight {
+func inService(s *Sim, f *Flow) int {
+	if s.inFlight(f) {
 		return 1
 	}
 	return 0
@@ -122,7 +122,7 @@ func TestPoissonArrivalsDrainAndAccount(t *testing.T) {
 	if q.Arrived < 50 || q.Arrived > 150 {
 		t.Fatalf("arrived %d packets in %.1fs at 200pps — process is off", q.Arrived, window)
 	}
-	if got := f.Delivered + f.Dropped + q.Pending() + inService(f); got != q.Arrived {
+	if got := f.Delivered + f.Dropped + q.Pending() + inService(s, f); got != q.Arrived {
 		t.Fatalf("accounting leak: delivered %d + dropped %d + pending %d != arrived %d",
 			f.Delivered, f.Dropped, q.Pending(), q.Arrived)
 	}
@@ -180,7 +180,7 @@ func TestDeadlineExpiresStaleQueue(t *testing.T) {
 	if q.Expired == 0 {
 		t.Fatal("tight deadline under contention expired nothing")
 	}
-	if got := f.Delivered + f.Dropped + q.Expired + q.Pending() + inService(f); got != q.Arrived {
+	if got := f.Delivered + f.Dropped + q.Expired + q.Pending() + inService(s, f); got != q.Arrived {
 		t.Fatalf("accounting leak: %d delivered + %d dropped + %d expired + %d pending != %d arrived",
 			f.Delivered, f.Dropped, q.Expired, q.Pending(), q.Arrived)
 	}
@@ -205,7 +205,7 @@ func TestChurnStartStopWindow(t *testing.T) {
 	if q.Abandoned == 0 {
 		t.Fatal("saturating flow left nothing behind at StopSec")
 	}
-	if got := f.Delivered + f.Dropped + q.Abandoned + q.Pending() + inService(f); got != q.Arrived {
+	if got := f.Delivered + f.Dropped + q.Abandoned + q.Pending() + inService(s, f); got != q.Arrived {
 		t.Fatalf("accounting leak: %d delivered + %d dropped + %d abandoned + %d pending != %d arrived",
 			f.Delivered, f.Dropped, q.Abandoned, q.Pending(), q.Arrived)
 	}

@@ -27,7 +27,7 @@ func TestArchitectureDocCoversEveryEndpoint(t *testing.T) {
 // mux: a request matching the pattern must not fall through to the mux's
 // 404 handler (404s from our own handlers carry a JSON body instead).
 func TestEndpointsMatchHandler(t *testing.T) {
-	if len(Endpoints()) != 9 {
+	if len(Endpoints()) != 10 {
 		t.Fatalf("Endpoints() has %d entries; update this test and the docs", len(Endpoints()))
 	}
 	seen := map[string]bool{}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -25,6 +26,7 @@ func Endpoints() []string {
 		"GET /spec",
 		"GET /healthz",
 		"GET /metrics",
+		"GET /debug/pprof/",
 	}
 }
 
@@ -39,6 +41,7 @@ func Endpoints() []string {
 //	GET  /spec                the accepted job-spec wire format
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus-style text counters
+//	GET  /debug/pprof/        live runtime profiles (CPU, heap, goroutine, ...)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -50,6 +53,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /spec", s.handleSpec)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Profiling is read-only introspection of the service process: it can
+	// never touch job output (profiles observe the scheduler, they don't
+	// perturb RNG draws or event order), so exposing it unconditionally is
+	// safe under the determinism contract. This is how the netsim hot path
+	// gets profiled in situ — submit a big job, then fetch
+	// /debug/pprof/profile while it runs.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

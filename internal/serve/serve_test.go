@@ -651,3 +651,29 @@ func TestStatusProgressFromMonitor(t *testing.T) {
 		t.Fatalf("progress = %d/%d, want 5/5", st.Done, st.Total)
 	}
 }
+
+func TestPprofEndpointsServeProfiles(t *testing.T) {
+	// The profiling routes are part of the service surface (operators
+	// profile the netsim hot path in situ through them), so smoke-test that
+	// the index and a cheap profile actually answer. The CPU profile
+	// endpoint is skipped: it blocks for its sampling window.
+	_, ts := newTestServer(t, Config{runFn: fakeRun(nil, nil)})
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/heap?debug=1",
+		"/debug/pprof/goroutine?debug=1",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, body %q", path, resp.StatusCode, body)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s: empty body", path)
+		}
+	}
+}
